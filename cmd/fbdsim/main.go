@@ -1,0 +1,194 @@
+// Command fbdsim runs one simulation from the command line and prints the
+// measured results.
+//
+// Examples:
+//
+//	fbdsim -mem fbd-ap -workload 4C-1
+//	fbdsim -mem ddr2 -bench swim,applu -insts 500000
+//	fbdsim -mem fbd -channels 4 -rate 533 -workload 8C-1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fbdsim"
+	"fbdsim/internal/clock"
+	"fbdsim/internal/config"
+	"fbdsim/internal/workload"
+)
+
+func main() {
+	var (
+		cfgFile  = flag.String("config", "", "JSON configuration file (overrides -mem and hardware flags)")
+		saveCfg  = flag.String("save-config", "", "write the effective configuration to this file and exit")
+		memKind  = flag.String("mem", "fbd", "memory system: ddr2, fbd, fbd-ap, fbd-apfl")
+		wlName   = flag.String("workload", "", "Table 3 workload name (e.g. 4C-1); overrides -bench")
+		benches  = flag.String("bench", "swim", "comma-separated benchmark list, one per core")
+		insts    = flag.Int64("insts", 300_000, "measured instructions per core")
+		warmup   = flag.Int64("warmup", 40_000, "warmup instructions per core")
+		seed     = flag.Int64("seed", 1, "trace generation seed")
+		channels = flag.Int("channels", 2, "logical memory channels")
+		rate     = flag.Int("rate", 667, "data rate in MT/s (533, 667, 800)")
+		k        = flag.Int("k", 4, "prefetch region size K (fbd-ap only)")
+		entries  = flag.Int("entries", 64, "AMB cache lines per DIMM (fbd-ap only)")
+		assoc    = flag.Int("assoc", 0, "AMB cache associativity, 0 = full (fbd-ap only)")
+		noSP     = flag.Bool("no-sw-prefetch", false, "disable software cache prefetching")
+		hwPF     = flag.Bool("hw-prefetch", false, "enable the hardware stream prefetcher (extension)")
+		refresh  = flag.Bool("refresh", false, "model DRAM refresh (tREFI 7.8us, tRFC 127.5ns; extension)")
+		vrl      = flag.Bool("vrl", false, "enable variable read latency")
+		hist     = flag.Bool("hist", false, "print the read-latency histogram")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of text")
+	)
+	flag.Parse()
+
+	cfg := fbdsim.Default()
+	switch *memKind {
+	case "ddr2":
+		cfg = fbdsim.DDR2Baseline()
+	case "fbd":
+	case "fbd-ap":
+		cfg = fbdsim.WithAMBPrefetch(cfg)
+	case "fbd-apfl":
+		cfg = fbdsim.WithFullLatencyHits(cfg)
+	default:
+		fatalf("unknown -mem %q (want ddr2, fbd, fbd-ap, fbd-apfl)", *memKind)
+	}
+	cfg.MaxInsts = *insts
+	cfg.WarmupInsts = *warmup
+	cfg.Seed = *seed
+	cfg.Mem.LogicalChannels = *channels
+	cfg.Mem.DataRate = clock.DataRate(*rate)
+	cfg.Mem.VRL = *vrl
+	if cfg.Mem.AMBPrefetch {
+		cfg.Mem.RegionLines = *k
+		cfg.Mem.AMBCacheLines = *entries
+		cfg.Mem.AMBCacheAssoc = *assoc
+	}
+	cfg.CPU.SoftwarePrefetch = !*noSP
+	cfg.CPU.HardwarePrefetch = *hwPF
+	cfg.Mem.RefreshEnabled = *refresh
+
+	if *cfgFile != "" {
+		loaded, err := config.LoadFile(*cfgFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		loaded.MaxInsts = *insts
+		loaded.WarmupInsts = *warmup
+		loaded.Seed = *seed
+		cfg = loaded
+	}
+	if *saveCfg != "" {
+		if err := cfg.SaveFile(*saveCfg); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("configuration written to %s\n", *saveCfg)
+		return
+	}
+
+	var names []string
+	if *wlName != "" {
+		w, err := workload.Lookup(*wlName)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		names = w.Benchmarks
+	} else {
+		names = strings.Split(*benches, ",")
+	}
+
+	res, err := fbdsim.Run(cfg, names)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *jsonOut {
+		emitJSON(cfg, names, res)
+		return
+	}
+
+	fmt.Printf("system      : %s", cfg.Mem.Kind)
+	if cfg.Mem.AMBPrefetch {
+		mode := "AP"
+		if cfg.Mem.FullLatencyHits {
+			mode = "APFL"
+		}
+		fmt.Printf(" + AMB prefetching (%s, K=%d, %d entries, assoc=%s)",
+			mode, cfg.Mem.RegionLines, cfg.Mem.AMBCacheLines, assocName(cfg.Mem.AMBCacheAssoc))
+	}
+	fmt.Println()
+	fmt.Printf("channels    : %d logical x %d ganged @ %d MT/s, %d DIMMs/ch, %d banks/DIMM\n",
+		cfg.Mem.LogicalChannels, cfg.Mem.GangWidth, int(cfg.Mem.DataRate),
+		cfg.Mem.DIMMsPerChannel, cfg.Mem.BanksPerDIMM)
+	fmt.Printf("interleave  : %s (%s)\n", cfg.Mem.Interleave, cfg.Mem.PageMode)
+	fmt.Printf("benchmarks  : %s\n", strings.Join(names, ", "))
+	fmt.Printf("cycles      : %d\n", res.Cycles)
+	for i, name := range res.Benchmarks {
+		fmt.Printf("  core %d %-10s IPC %.3f (%d instructions)\n", i, name, res.IPC[i], res.Committed[i])
+	}
+	fmt.Printf("total IPC   : %.3f\n", res.TotalIPC())
+	fmt.Printf("reads       : %d (avg latency %.1f ns, p50/p90/p99 %.0f/%.0f/%.0f ns)\n",
+		res.Reads, res.AvgReadLatencyNS, res.P50LatencyNS, res.P90LatencyNS, res.P99LatencyNS)
+	fmt.Printf("writes      : %d\n", res.Writes)
+	fmt.Printf("bandwidth   : %.2f GB/s utilized (read link %.1f%%, write link %.1f%% busy)\n",
+		res.UtilizedBandwidthGBs, res.ReadLinkUtilization*100, res.WriteLinkUtilization*100)
+	fmt.Printf("bank confl. : %d delayed activations\n", res.BankConflicts)
+	fmt.Printf("DRAM ops    : %d ACT, %d PRE, %d column\n", res.DRAM.ACT, res.DRAM.PRE, res.DRAM.Columns())
+	if cfg.Mem.AMBPrefetch {
+		fmt.Printf("AMB cache   : %d hits, coverage %.3f, efficiency %.3f\n",
+			res.AMBHits, res.AMB.Coverage(), res.AMB.Efficiency())
+	}
+	if *hist && res.LatencyHist != nil {
+		fmt.Printf("\nread latency distribution:\n%s", res.LatencyHist.Render(48))
+	}
+}
+
+// emitJSON prints a machine-readable result record.
+func emitJSON(cfg fbdsim.Config, names []string, res fbdsim.Results) {
+	out := map[string]interface{}{
+		"system":        cfg.Mem.Kind.String(),
+		"ambPrefetch":   cfg.Mem.AMBPrefetch,
+		"interleave":    cfg.Mem.Interleave.String(),
+		"channels":      cfg.Mem.LogicalChannels,
+		"dataRateMTs":   int(cfg.Mem.DataRate),
+		"benchmarks":    names,
+		"ipc":           res.IPC,
+		"totalIPC":      res.TotalIPC(),
+		"cycles":        res.Cycles,
+		"reads":         res.Reads,
+		"writes":        res.Writes,
+		"avgLatencyNS":  res.AvgReadLatencyNS,
+		"p50LatencyNS":  res.P50LatencyNS,
+		"p90LatencyNS":  res.P90LatencyNS,
+		"p99LatencyNS":  res.P99LatencyNS,
+		"bandwidthGBs":  res.UtilizedBandwidthGBs,
+		"dramACT":       res.DRAM.ACT,
+		"dramPRE":       res.DRAM.PRE,
+		"dramColumns":   res.DRAM.Columns(),
+		"ambHits":       res.AMBHits,
+		"ambCoverage":   res.AMB.Coverage(),
+		"ambEfficiency": res.AMB.Efficiency(),
+		"l2MissRate":    res.L2MissRate(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatalf("encoding results: %v", err)
+	}
+}
+
+func assocName(a int) string {
+	if a == config.FullAssoc {
+		return "full"
+	}
+	return fmt.Sprintf("%d-way", a)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "fbdsim: "+format+"\n", args...)
+	os.Exit(1)
+}

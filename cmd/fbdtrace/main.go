@@ -1,0 +1,145 @@
+// Command fbdtrace characterizes the synthetic benchmark traces: it runs
+// each generator through the simulated cache hierarchy (without any memory
+// timing) and reports the resulting instruction mix, L1/L2 miss rates, L2
+// MPKI, spatial locality, and software-prefetch density. Use it to inspect
+// what the trace profiles actually produce before trusting a simulation
+// sweep, or to compare a recalibrated profile against the old one.
+//
+// Examples:
+//
+//	fbdtrace                         # all twelve benchmarks
+//	fbdtrace -bench swim,vpr
+//	fbdtrace -insts 2000000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fbdsim/internal/cache"
+	"fbdsim/internal/config"
+	"fbdsim/internal/trace"
+)
+
+func main() {
+	var (
+		benches = flag.String("bench", "", "comma-separated benchmarks (default: all)")
+		insts   = flag.Int64("insts", 1_000_000, "instructions to characterize per benchmark")
+		seed    = flag.Int64("seed", 1, "trace seed")
+	)
+	flag.Parse()
+
+	names := trace.BenchmarkNames()
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	fmt.Printf("%-9s %7s %7s %7s %7s %7s %7s %8s %7s\n",
+		"bench", "mem%", "store%", "dep%", "L1miss", "L2miss", "MPKI", "region%", "pf/KI")
+	for _, name := range names {
+		p, err := trace.ProfileFor(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fbdtrace: %v\n", err)
+			os.Exit(1)
+		}
+		c := characterize(p, *insts, *seed)
+		fmt.Printf("%-9s %7.1f %7.1f %7.1f %7.3f %7.3f %7.2f %8.1f %7.1f\n",
+			p.Name, c.memPct, c.storePct, c.depPct, c.l1Miss, c.l2Miss, c.mpki, c.regionPct, c.pfPerKI)
+	}
+	fmt.Println("\nmem%: memory references per instruction; dep%: dependent loads;")
+	fmt.Println("MPKI: L2 misses per 1000 instructions; region%: L2 misses whose")
+	fmt.Println("4-line region was missed recently (the spatial locality the AMB")
+	fmt.Println("prefetcher harvests); pf/KI: prefetch instructions per 1000.")
+}
+
+type characterization struct {
+	memPct, storePct, depPct float64
+	l1Miss, l2Miss           float64
+	mpki                     float64
+	regionPct                float64
+	pfPerKI                  float64
+}
+
+// characterize drives the generator through Table 1's cache geometry.
+func characterize(p trace.Profile, insts, seed int64) characterization {
+	cfg := config.Default().CPU
+	l1 := cache.New(cfg.L1DataKB, cfg.L1Assoc, cfg.LineBytes)
+	l2 := cache.New(cfg.L2KB, cfg.L2Assoc, cfg.LineBytes)
+	gen := trace.NewSynthetic(p, 0, seed)
+
+	const regionWindow = 256
+	var (
+		it                   trace.Item
+		total                int64
+		memOps, stores, deps int64
+		prefetches           int64
+		l2Misses             int64
+		pfMisses             int64
+		regionHits           int64
+		recent               [regionWindow]int64
+		recentPos            int
+	)
+	for i := range recent {
+		recent[i] = -1
+	}
+	noteMiss := func(addr int64) {
+		region := addr / int64(4*cfg.LineBytes)
+		for _, r := range recent {
+			if r == region {
+				regionHits++
+				break
+			}
+		}
+		recent[recentPos] = region
+		recentPos = (recentPos + 1) % regionWindow
+	}
+	for total < insts {
+		gen.Next(&it)
+		total += int64(it.Gap) + 1
+		switch it.Op {
+		case trace.Prefetch:
+			prefetches++
+			// Prefetch fills reach memory too; they count toward region
+			// locality but not toward demand MPKI.
+			if !l2.Access(it.Addr, false) {
+				pfMisses++
+				noteMiss(it.Addr)
+				l2.Fill(it.Addr, false)
+			}
+			continue
+		case trace.Store:
+			stores++
+		case trace.Load:
+			if it.Dep {
+				deps++
+			}
+		}
+		memOps++
+		write := it.Op == trace.Store
+		if l1.Access(it.Addr, write) {
+			continue
+		}
+		if !l2.Access(it.Addr, write) {
+			l2Misses++
+			noteMiss(it.Addr)
+			l2.Fill(it.Addr, write)
+		}
+		l1.Fill(it.Addr, write)
+	}
+
+	c := characterization{
+		memPct:   100 * float64(memOps) / float64(total),
+		storePct: 100 * float64(stores) / float64(memOps),
+		depPct:   100 * float64(deps) / float64(memOps-stores),
+		l1Miss:   l1.Stats.MissRate(),
+		l2Miss:   l2.Stats.MissRate(),
+		mpki:     1000 * float64(l2Misses) / float64(total),
+		pfPerKI:  1000 * float64(prefetches) / float64(total),
+	}
+	if mem := l2Misses + pfMisses; mem > 0 {
+		c.regionPct = 100 * float64(regionHits) / float64(mem)
+	}
+	return c
+}

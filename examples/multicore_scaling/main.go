@@ -1,0 +1,61 @@
+// multicore_scaling compares the three memory systems — conventional DDR2,
+// FB-DIMM, and FB-DIMM with AMB prefetching — as the core count scales from
+// one to eight, the central story of the paper: FB-DIMM trades idle latency
+// for bandwidth (losing slightly at low core counts, winning at high ones),
+// and AMB prefetching then recovers the latency while improving bandwidth
+// utilization further.
+//
+// Run with:
+//
+//	go run ./examples/multicore_scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fbdsim"
+)
+
+func main() {
+	mixes := [][]string{
+		{"swim"},
+		{"wupwise", "swim"},
+		{"wupwise", "swim", "mgrid", "applu"},
+		{"wupwise", "swim", "mgrid", "applu", "vpr", "equake", "facerec", "lucas"},
+	}
+
+	base := fbdsim.Default()
+	base.MaxInsts = 150_000
+
+	fmt.Printf("%6s %12s %12s %12s %16s\n",
+		"cores", "DDR2 IPC", "FBD IPC", "FBD-AP IPC", "AP gain vs FBD")
+	for _, mix := range mixes {
+		ddr2, err := fbdsim.Run(withBudget(fbdsim.DDR2Baseline(), base), mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fbd, err := fbdsim.Run(base, mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ap, err := fbdsim.Run(fbdsim.WithAMBPrefetch(base), mix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %12.3f %12.3f %12.3f %+15.1f%%\n",
+			len(mix), ddr2.TotalIPC(), fbd.TotalIPC(), ap.TotalIPC(),
+			(ap.TotalIPC()/fbd.TotalIPC()-1)*100)
+	}
+	fmt.Println("\nExpect: DDR2 edges out FB-DIMM at 1-2 cores (shorter idle latency),")
+	fmt.Println("FB-DIMM wins at 4-8 cores (more usable bandwidth), and AMB prefetching")
+	fmt.Println("beats plain FB-DIMM at every core count.")
+}
+
+// withBudget copies the instruction budgets of ref onto cfg.
+func withBudget(cfg, ref fbdsim.Config) fbdsim.Config {
+	cfg.MaxInsts = ref.MaxInsts
+	cfg.WarmupInsts = ref.WarmupInsts
+	cfg.Seed = ref.Seed
+	return cfg
+}

@@ -1,0 +1,46 @@
+// Quickstart: simulate one memory-intensive workload on FB-DIMM with and
+// without AMB prefetching and print the headline numbers.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fbdsim"
+)
+
+func main() {
+	workload := []string{"swim", "applu"} // one benchmark per core
+
+	base := fbdsim.Default() // FB-DIMM, 2 logical channels, 667 MT/s
+	base.MaxInsts = 300_000
+
+	baseline, err := fbdsim.Run(base, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ap := fbdsim.WithAMBPrefetch(base) // + K=4 region prefetch, 4 KB AMB caches
+	prefetched, err := fbdsim.Run(ap, workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("workload:", workload)
+	fmt.Printf("%-22s %10s %12s %12s\n", "", "total IPC", "read lat ns", "bw GB/s")
+	fmt.Printf("%-22s %10.3f %12.1f %12.2f\n",
+		"FB-DIMM", baseline.TotalIPC(), baseline.AvgReadLatencyNS, baseline.UtilizedBandwidthGBs)
+	fmt.Printf("%-22s %10.3f %12.1f %12.2f\n",
+		"FB-DIMM + AMB prefetch", prefetched.TotalIPC(), prefetched.AvgReadLatencyNS, prefetched.UtilizedBandwidthGBs)
+	fmt.Printf("\nspeedup from AMB prefetching: %+.1f%%\n",
+		(prefetched.TotalIPC()/baseline.TotalIPC()-1)*100)
+	fmt.Printf("prefetch coverage %.2f, efficiency %.2f (%d AMB-cache hits)\n",
+		prefetched.AMB.Coverage(), prefetched.AMB.Efficiency(), prefetched.AMBHits)
+	fmt.Printf("DRAM activations: %d -> %d (%.0f%% fewer)\n",
+		baseline.DRAM.ACT, prefetched.DRAM.ACT,
+		(1-float64(prefetched.DRAM.ACT)/float64(baseline.DRAM.ACT))*100)
+}

@@ -1,0 +1,3 @@
+module fbdsim
+
+go 1.22

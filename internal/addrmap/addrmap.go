@@ -1,0 +1,220 @@
+// Package addrmap implements the DRAM interleaving schemes of Section 3.2:
+// conventional cacheline interleaving, page interleaving, and the
+// multi-cacheline (K-line region) interleaving that AMB prefetching
+// requires. A Mapper decomposes a physical address into the channel, DIMM,
+// bank, row and column that serve it, and can enumerate the prefetch group
+// of a demanded block.
+package addrmap
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fbdsim/internal/config"
+)
+
+// Location identifies the DRAM resources serving one memory block.
+type Location struct {
+	Channel int // logical channel
+	DIMM    int // DIMM on the channel
+	Bank    int // logical bank on the DIMM
+	Row     int64
+	Col     int // cacheline index within the row
+}
+
+// BankID returns a dense global index for the (channel, DIMM, bank) triple,
+// suitable for array indexing across the whole memory system.
+func (l Location) BankID(cfg *config.Mem) int {
+	return (l.Channel*cfg.DIMMsPerChannel+l.DIMM)*cfg.BanksPerDIMM + l.Bank
+}
+
+func (l Location) String() string {
+	return fmt.Sprintf("ch%d/dimm%d/bank%d/row%d/col%d", l.Channel, l.DIMM, l.Bank, l.Row, l.Col)
+}
+
+// Mapper translates physical addresses to DRAM locations under one
+// interleaving scheme.
+type Mapper struct {
+	cfg config.Mem
+
+	lineShift   uint
+	linesPerRow int64
+	channels    int64
+	dimms       int64
+	banks       int64
+	totalBanks  int64
+	regionLines int64
+}
+
+// New builds a Mapper for the memory configuration. The configuration must
+// already be validated.
+func New(cfg *config.Mem) *Mapper {
+	m := &Mapper{
+		cfg:         *cfg,
+		lineShift:   uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		linesPerRow: int64(cfg.RowBytes / cfg.LineBytes),
+		channels:    int64(cfg.LogicalChannels),
+		dimms:       int64(cfg.DIMMsPerChannel),
+		banks:       int64(cfg.BanksPerDIMM),
+		regionLines: int64(cfg.RegionLines),
+	}
+	m.totalBanks = m.channels * m.dimms * m.banks
+	if cfg.Interleave != config.MultiCachelineInterleave {
+		m.regionLines = 1
+	}
+	return m
+}
+
+// LineAddr returns the cacheline-aligned address containing addr.
+func (m *Mapper) LineAddr(addr int64) int64 {
+	return addr &^ (int64(m.cfg.LineBytes) - 1)
+}
+
+// lineIndex returns the global cacheline index of addr.
+func (m *Mapper) lineIndex(addr int64) int64 { return addr >> m.lineShift }
+
+// Map decomposes a physical address into its DRAM location.
+func (m *Mapper) Map(addr int64) Location {
+	line := m.lineIndex(addr)
+	var loc Location
+	switch m.cfg.Interleave {
+	case config.CachelineInterleave:
+		loc = m.spread(line, 1, 0)
+	case config.MultiCachelineInterleave:
+		region, inRegion := line/m.regionLines, line%m.regionLines
+		loc = m.spread(region, m.regionLines, inRegion)
+	case config.PageInterleave:
+		page, col := line/m.linesPerRow, line%m.linesPerRow
+		loc = m.spreadUnits(page)
+		loc.Row = page / m.totalBanks
+		loc.Col = int(col)
+	default:
+		panic(fmt.Sprintf("addrmap: unknown interleave %v", m.cfg.Interleave))
+	}
+	if m.cfg.PermuteBanks {
+		// Permutation-based interleaving [26]: XOR the bank index with
+		// the row's low bits. For any fixed (channel, DIMM, row) this is
+		// a bijection on banks, so the mapping stays injective while
+		// same-bank row conflicts scatter across banks.
+		loc.Bank ^= int(loc.Row) & (m.cfg.BanksPerDIMM - 1)
+	}
+	return loc
+}
+
+// spread distributes interleave units (of unitLines cachelines each) across
+// channel, DIMM and bank round-robin, then packs the remainder into columns
+// and rows. offset is the line position within the unit.
+func (m *Mapper) spread(unit, unitLines, offset int64) Location {
+	loc := m.spreadUnits(unit)
+	idx := unit / m.totalBanks // unit sequence number within this bank
+	unitsPerRow := m.linesPerRow / unitLines
+	loc.Row = idx / unitsPerRow
+	loc.Col = int((idx%unitsPerRow)*unitLines + offset)
+	return loc
+}
+
+// spreadUnits assigns a unit number to channel/DIMM/bank round-robin with
+// channel varying fastest (maximizing channel-level concurrency), then DIMM,
+// then bank — the wraparound order of Figure 2.
+func (m *Mapper) spreadUnits(unit int64) Location {
+	return Location{
+		Channel: int(unit % m.channels),
+		DIMM:    int((unit / m.channels) % m.dimms),
+		Bank:    int((unit / (m.channels * m.dimms)) % m.banks),
+	}
+}
+
+// RegionLines is the prefetch group size K under the current scheme
+// (1 when the scheme does not define regions).
+func (m *Mapper) RegionLines() int { return int(m.regionLines) }
+
+// RegionID returns a unique identifier of the prefetch group containing
+// addr. Addresses in the same group share DRAM row and bank.
+func (m *Mapper) RegionID(addr int64) int64 {
+	line := m.lineIndex(addr)
+	switch m.cfg.Interleave {
+	case config.MultiCachelineInterleave:
+		return line / m.regionLines
+	case config.PageInterleave:
+		return line / m.linesPerRow
+	default:
+		return line
+	}
+}
+
+// Group enumerates the line addresses the AMB fetches for a demand access to
+// addr, demanded line first.
+//
+// Under multi-cacheline interleaving this is the full K-line region
+// (Figure 2: demand on block 6 fetches blocks 6, 4, 5, 7). Under page
+// interleaving it is the K-line window [N-1, N+2] clipped to the page, as
+// Section 3.2 describes. Under cacheline interleaving it is the demanded
+// line alone.
+func (m *Mapper) Group(addr int64) []int64 {
+	demanded := m.LineAddr(addr)
+	lb := int64(m.cfg.LineBytes)
+	switch m.cfg.Interleave {
+	case config.MultiCachelineInterleave:
+		base := demanded &^ (m.regionLines*lb - 1)
+		group := make([]int64, 0, m.regionLines)
+		group = append(group, demanded)
+		for i := int64(0); i < m.regionLines; i++ {
+			if a := base + i*lb; a != demanded {
+				group = append(group, a)
+			}
+		}
+		return group
+	case config.PageInterleave:
+		k := int64(m.cfg.RegionLines)
+		if k < 1 {
+			k = 1
+		}
+		pageBytes := m.linesPerRow * lb
+		pageBase := demanded &^ (pageBytes - 1)
+		start := demanded - lb // block N-1 first, then N+1, N+2, ...
+		if start < pageBase {
+			start = demanded
+		}
+		group := []int64{demanded}
+		for a := start; int64(len(group)) < k; a += lb {
+			if a == demanded {
+				continue
+			}
+			if a < pageBase || a >= pageBase+pageBytes {
+				break
+			}
+			group = append(group, a)
+		}
+		return group
+	default:
+		return []int64{demanded}
+	}
+}
+
+// LocalLineID returns a dense identifier of addr's cacheline *within its
+// DIMM*: consecutive lines stored on one DIMM get consecutive IDs. The AMB
+// cache must index its sets with this, not the raw line address — after
+// interleaving strips lines across channels and DIMMs, the channel/DIMM
+// bits of the raw address are constant for any one AMB and would alias
+// every entry into a fraction of the sets.
+func (m *Mapper) LocalLineID(addr int64) int64 {
+	line := m.lineIndex(addr)
+	spread := m.channels * m.dimms
+	switch m.cfg.Interleave {
+	case config.MultiCachelineInterleave:
+		region, off := line/m.regionLines, line%m.regionLines
+		return (region/spread)*m.regionLines + off
+	case config.PageInterleave:
+		page, off := line/m.linesPerRow, line%m.linesPerRow
+		return (page/spread)*m.linesPerRow + off
+	default:
+		return line / spread
+	}
+}
+
+// SameRow reports whether two addresses map to the same row of the same
+// bank (a row-buffer hit opportunity under open-page mode).
+func (m *Mapper) SameRow(a, b int64) bool {
+	la, lb := m.Map(a), m.Map(b)
+	return la.Channel == lb.Channel && la.DIMM == lb.DIMM && la.Bank == lb.Bank && la.Row == lb.Row
+}

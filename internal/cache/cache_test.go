@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(4, 2, 64) // 4KB, 2-way, 32 sets
+	if c.Access(0, false) {
+		t.Fatal("cold cache must miss")
+	}
+	c.Fill(0, false)
+	if !c.Access(0, false) {
+		t.Fatal("filled line must hit")
+	}
+	if !c.Access(63, false) {
+		t.Fatal("same line, different offset must hit")
+	}
+	if c.Access(64, false) {
+		t.Fatal("next line must miss")
+	}
+	if c.Stats.Accesses != 4 || c.Stats.Misses != 2 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+	if got := c.Stats.MissRate(); got != 0.5 {
+		t.Errorf("miss rate = %g", got)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := New(4, 2, 64)
+	sets := int64(c.Sets())
+	// Two lines in set 0.
+	a, b, d := int64(0), sets*64, 2*sets*64
+	c.Fill(a, false)
+	c.Fill(b, false)
+	c.Access(a, false) // a is now MRU
+	v := c.Fill(d, false)
+	if !v.Valid || v.Addr != b {
+		t.Errorf("evicted %+v, want LRU line %d", v, b)
+	}
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Error("post-eviction residency wrong")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	c := New(4, 1, 64)
+	c.Fill(0, false)
+	c.Access(0, true) // store dirties the line
+	sets := int64(c.Sets())
+	v := c.Fill(sets*64, false) // conflict: evicts line 0
+	if !v.Valid || !v.Dirty || v.Addr != 0 {
+		t.Errorf("victim = %+v, want dirty line 0", v)
+	}
+	if c.Stats.DirtyEvicts != 1 {
+		t.Errorf("dirty evicts = %d", c.Stats.DirtyEvicts)
+	}
+}
+
+func TestFillDirtyDirectly(t *testing.T) {
+	c := New(4, 1, 64)
+	c.Fill(0, true) // RFO fill
+	sets := int64(c.Sets())
+	v := c.Fill(sets*64, false)
+	if !v.Dirty {
+		t.Error("RFO-filled victim must be dirty")
+	}
+}
+
+func TestFillExistingRefreshes(t *testing.T) {
+	c := New(4, 2, 64)
+	c.Fill(0, false)
+	v := c.Fill(0, true)
+	if v.Valid {
+		t.Error("refreshing a resident line must not evict")
+	}
+	// The refresh set the dirty bit.
+	sets := int64(c.Sets())
+	c.Fill(sets*64, false)
+	victim := c.Fill(2*sets*64, false)
+	if !victim.Dirty || victim.Addr != 0 {
+		t.Errorf("victim = %+v, want dirty line 0", victim)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(4, 2, 64)
+	c.Fill(0, false)
+	c.Access(0, true)
+	dirty, present := c.Invalidate(0)
+	if !present || !dirty {
+		t.Errorf("invalidate = dirty %v present %v", dirty, present)
+	}
+	if c.Contains(0) {
+		t.Error("line still present")
+	}
+	if _, present := c.Invalidate(0); present {
+		t.Error("second invalidate must miss")
+	}
+}
+
+func TestPrefetchFillCounted(t *testing.T) {
+	c := New(4, 2, 64)
+	c.FillPrefetch(0)
+	if c.Stats.PrefetchFills != 1 {
+		t.Errorf("prefetch fills = %d", c.Stats.PrefetchFills)
+	}
+	if !c.Contains(0) {
+		t.Error("prefetch fill must install the line")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c := New(4096, 4, 64) // the shared L2 of Table 1
+	if c.Sets() != 16384 || c.Ways() != 4 {
+		t.Errorf("L2 geometry = %d sets x %d ways", c.Sets(), c.Ways())
+	}
+	c2 := New(64, 2, 64) // the L1D of Table 1
+	if c2.Sets() != 512 || c2.Ways() != 2 {
+		t.Errorf("L1 geometry = %d sets x %d ways", c2.Sets(), c2.Ways())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { New(3, 2, 64) },  // does not divide
+		func() { New(96, 1, 64) }, // 1536 sets: not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestOccupancyAndConservation is a property test over random workloads.
+func TestOccupancyAndConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(8, 2, 64)
+		capacity := c.Sets() * c.Ways()
+		fills := 0
+		for i := 0; i < 400; i++ {
+			addr := int64(rng.Intn(1024)) * 64
+			switch rng.Intn(3) {
+			case 0:
+				c.Access(addr, rng.Intn(2) == 0)
+			case 1:
+				c.Fill(addr, false)
+				fills++
+			case 2:
+				c.Invalidate(addr)
+			}
+			if c.Occupancy() > capacity {
+				return false
+			}
+		}
+		// A cache can never evict more lines than were filled.
+		return c.Stats.Evictions <= int64(fills) &&
+			c.Stats.DirtyEvicts <= c.Stats.Evictions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSetIsolation: filling one set never disturbs another.
+func TestSetIsolation(t *testing.T) {
+	c := New(8, 2, 64)
+	c.Fill(64, false) // set 1
+	sets := int64(c.Sets())
+	for i := int64(0); i < 10; i++ {
+		c.Fill(i*sets*64, false) // hammer set 0
+	}
+	if !c.Contains(64) {
+		t.Error("set 0 pressure evicted a set-1 line")
+	}
+}

@@ -1,0 +1,99 @@
+// Package clock provides the simulation time base shared by every model in
+// fbdsim. All simulated time is kept in integer picoseconds so that DRAM
+// timing parameters (multiples of 3 ns at DDR2-667) and the 4 GHz CPU clock
+// (250 ps) compose without rounding error.
+package clock
+
+import "fmt"
+
+// Time is a simulated instant or duration in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+)
+
+// Infinity is a sentinel meaning "never"; it is far larger than any
+// simulated horizon but still safe to add small offsets to.
+const Infinity Time = 1 << 62
+
+// Nanoseconds reports t as a float64 count of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// String formats the time in nanoseconds for human-readable logs.
+func (t Time) String() string {
+	if t == Infinity {
+		return "inf"
+	}
+	return fmt.Sprintf("%.3fns", t.Nanoseconds())
+}
+
+// DataRate is a DDR transfer rate in mega-transfers per second.
+type DataRate int
+
+// Data rates evaluated in the paper (Figure 6 uses 533 and 667; the FB-DIMM
+// bandwidth discussion in Section 3.1 uses 800), plus the DDR3 speeds the
+// paper's footnote anticipates ("Future FB-DIMM will also support DDR3 bus
+// and DRAM").
+const (
+	DDR2_533  DataRate = 533
+	DDR2_667  DataRate = 667
+	DDR2_800  DataRate = 800
+	DDR3_1333 DataRate = 1333
+	DDR3_1600 DataRate = 1600
+)
+
+// tckTable maps a data rate to the DRAM clock period. DDR transfers two
+// beats per clock, so the clock frequency is rate/2 MHz. The values are the
+// idealized periods used throughout the paper (3 ns at 667 MT/s).
+var tckTable = map[DataRate]Time{
+	DDR2_533:  3750 * Picosecond,
+	DDR2_667:  3000 * Picosecond,
+	DDR2_800:  2500 * Picosecond,
+	DDR3_1333: 1500 * Picosecond,
+	DDR3_1600: 1250 * Picosecond,
+}
+
+// TCK returns the DRAM clock period for the data rate.
+// It panics on an unsupported rate; configuration validation rejects those
+// before any simulation starts.
+func (r DataRate) TCK() Time {
+	t, ok := tckTable[r]
+	if !ok {
+		panic(fmt.Sprintf("clock: unsupported data rate %d MT/s", int(r)))
+	}
+	return t
+}
+
+// Valid reports whether the data rate is one of the supported DDR2 speeds.
+func (r DataRate) Valid() bool {
+	_, ok := tckTable[r]
+	return ok
+}
+
+// BytesPerSecond returns the peak bandwidth of a 64-bit DDR channel running
+// at rate r, in bytes per second.
+func (r DataRate) BytesPerSecond() float64 {
+	return float64(r) * 1e6 * 8 // 8 bytes per transfer on a 64-bit bus
+}
+
+// CPUFrequencyGHz is the fixed processor clock of Table 1.
+const CPUFrequencyGHz = 4
+
+// CPUCycle is the CPU clock period (250 ps at 4 GHz).
+const CPUCycle Time = 250 * Picosecond
+
+// CPUCyclesPerTCK returns the integer number of CPU cycles per DRAM clock.
+// Every supported data rate divides evenly (12 at 667, 15 at 533, 10 at 800).
+func CPUCyclesPerTCK(r DataRate) int {
+	tck := r.TCK()
+	n := int(tck / CPUCycle)
+	if Time(n)*CPUCycle != tck {
+		panic(fmt.Sprintf("clock: tCK %v not a multiple of the CPU cycle", tck))
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTCKValues(t *testing.T) {
+	cases := []struct {
+		rate DataRate
+		want Time
+	}{
+		{DDR2_533, 3750 * Picosecond},
+		{DDR2_667, 3000 * Picosecond},
+		{DDR2_800, 2500 * Picosecond},
+	}
+	for _, c := range cases {
+		if got := c.rate.TCK(); got != c.want {
+			t.Errorf("TCK(%d) = %v, want %v", int(c.rate), got, c.want)
+		}
+	}
+}
+
+func TestTCKUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TCK on unsupported rate did not panic")
+		}
+	}()
+	DataRate(123).TCK()
+}
+
+func TestValid(t *testing.T) {
+	for _, r := range []DataRate{DDR2_533, DDR2_667, DDR2_800} {
+		if !r.Valid() {
+			t.Errorf("rate %d should be valid", int(r))
+		}
+	}
+	for _, r := range []DataRate{0, 1, 400, 666, 1066} {
+		if r.Valid() {
+			t.Errorf("rate %d should be invalid", int(r))
+		}
+	}
+}
+
+func TestCPUCyclesPerTCK(t *testing.T) {
+	cases := []struct {
+		rate DataRate
+		want int
+	}{
+		{DDR2_533, 15},
+		{DDR2_667, 12},
+		{DDR2_800, 10},
+	}
+	for _, c := range cases {
+		if got := CPUCyclesPerTCK(c.rate); got != c.want {
+			t.Errorf("CPUCyclesPerTCK(%d) = %d, want %d", int(c.rate), got, c.want)
+		}
+	}
+}
+
+func TestBytesPerSecond(t *testing.T) {
+	// A 64-bit DDR2-800 channel moves 6.4 GB/s.
+	if got := DDR2_800.BytesPerSecond(); got != 6.4e9 {
+		t.Errorf("DDR2-800 bandwidth = %g, want 6.4e9", got)
+	}
+	if got := DDR2_667.BytesPerSecond(); got != 667e6*8 {
+		t.Errorf("DDR2-667 bandwidth = %g, want %g", got, 667e6*8)
+	}
+}
+
+func TestNanoseconds(t *testing.T) {
+	if got := (63 * Nanosecond).Nanoseconds(); got != 63 {
+		t.Errorf("63ns = %g", got)
+	}
+	if got := (1500 * Picosecond).Nanoseconds(); got != 1.5 {
+		t.Errorf("1500ps = %gns, want 1.5", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (33 * Nanosecond).String(); s != "33.000ns" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Infinity.String(); s != "inf" {
+		t.Errorf("Infinity.String = %q", s)
+	}
+}
+
+func TestTimeArithmeticProperty(t *testing.T) {
+	// Durations expressed in ns survive a round trip through Nanoseconds
+	// for any count that fits comfortably in the simulated horizon.
+	f := func(n uint32) bool {
+		d := Time(n) * Nanosecond
+		return d.Nanoseconds() == float64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInfinityIsLargeButSafe(t *testing.T) {
+	if Infinity <= 0 {
+		t.Fatal("Infinity must be positive")
+	}
+	if Infinity+1000*Nanosecond < Infinity {
+		t.Fatal("adding small offsets to Infinity must not overflow")
+	}
+}
+
+func TestDDR3Rates(t *testing.T) {
+	if DDR3_1333.TCK() != 1500*Picosecond || DDR3_1600.TCK() != 1250*Picosecond {
+		t.Error("DDR3 clock periods wrong")
+	}
+	if CPUCyclesPerTCK(DDR3_1333) != 6 || CPUCyclesPerTCK(DDR3_1600) != 5 {
+		t.Error("DDR3 CPU:DRAM ratios must stay integral")
+	}
+}

@@ -1,0 +1,56 @@
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save writes the configuration as indented JSON.
+func (c *Config) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return fmt.Errorf("config: encoding: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the configuration to path.
+func (c *Config) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return c.Save(f)
+}
+
+// Load reads a JSON configuration. Unknown fields are rejected so typos in
+// experiment files fail loudly, and the result is validated before being
+// returned.
+func Load(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	// Start from the defaults so partial files only override what they
+	// mention.
+	c := Default()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("config: decoding: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// LoadFile reads and validates the configuration at path.
+func LoadFile(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,255 @@
+package cpu
+
+import (
+	"fmt"
+
+	"fbdsim/internal/config"
+	"fbdsim/internal/trace"
+)
+
+// robItem is one reorder-buffer record: a run of freely-committing
+// instructions (gapBefore) optionally followed by one load that must wait
+// for its data. Stores and prefetches commit freely and are folded into the
+// gap; only loads can stall the ROB head.
+type robItem struct {
+	gapBefore int
+	hasOp     bool
+	done      bool
+	doneCycle int64
+}
+
+// Core is one out-of-order processor core running a trace.
+type Core struct {
+	cfg  *config.CPU
+	id   int
+	gen  trace.Generator
+	hier *Hierarchy
+
+	// ROB as a ring of robItems; items never move, so callbacks may hold
+	// indices.
+	ring     []robItem
+	head, n  int
+	robCount int // instructions currently in the ROB
+
+	lqInUse int
+	sqInUse int
+
+	// Dispatch stream state.
+	cur       trace.Item
+	gapLeft   int
+	opPending bool // cur's op has not been dispatched yet
+
+	// lastLoad tracks completion of the most recently dispatched load so
+	// dependent loads (Item.Dep) wait for their producer's data.
+	lastLoad *bool
+
+	// Committed is the cumulative number of committed instructions.
+	Committed int64
+	// Stalls counts cycles in which nothing committed while the ROB was
+	// non-empty (diagnostic).
+	Stalls int64
+}
+
+// NewCore builds core id fed by gen and backed by hier.
+func NewCore(cfg *config.CPU, id int, gen trace.Generator, hier *Hierarchy) *Core {
+	c := &Core{
+		cfg:  cfg,
+		id:   id,
+		gen:  gen,
+		hier: hier,
+		ring: make([]robItem, cfg.ROBEntries+2),
+	}
+	c.fetchNext()
+	return c
+}
+
+func (c *Core) fetchNext() {
+	c.gen.Next(&c.cur)
+	c.gapLeft = c.cur.Gap
+	c.opPending = true
+}
+
+func (c *Core) tailIndex() int { return (c.head + c.n - 1) % len(c.ring) }
+
+// addGap appends d freely-committing instructions to the ROB tail.
+func (c *Core) addGap(d int) {
+	if c.n > 0 {
+		t := &c.ring[c.tailIndex()]
+		if !t.hasOp {
+			t.gapBefore += d
+			c.robCount += d
+			return
+		}
+	}
+	c.push(robItem{gapBefore: d})
+	c.robCount += d
+}
+
+// addLoad appends a load record and returns its ring index for the
+// completion callback.
+func (c *Core) addLoad() int {
+	if c.n > 0 {
+		t := c.tailIndex()
+		if !c.ring[t].hasOp {
+			c.ring[t].hasOp = true
+			c.ring[t].done = false
+			c.robCount++
+			return t
+		}
+	}
+	c.push(robItem{hasOp: true})
+	c.robCount++
+	return c.tailIndex()
+}
+
+func (c *Core) push(it robItem) {
+	if c.n == len(c.ring) {
+		panic(fmt.Sprintf("cpu: core %d ROB ring overflow", c.id))
+	}
+	c.ring[(c.head+c.n)%len(c.ring)] = it
+	c.n++
+}
+
+// Tick advances the core one CPU cycle: in-order commit from the ROB head,
+// then dispatch of new instructions while resources allow.
+func (c *Core) Tick(cycle int64) {
+	c.commit(cycle)
+	c.dispatch(cycle)
+}
+
+func (c *Core) commit(cycle int64) {
+	budget := c.cfg.IssueWidth
+	before := c.Committed
+	for budget > 0 && c.n > 0 {
+		it := &c.ring[c.head]
+		if it.gapBefore > 0 {
+			d := it.gapBefore
+			if d > budget {
+				d = budget
+			}
+			it.gapBefore -= d
+			c.robCount -= d
+			c.Committed += int64(d)
+			budget -= d
+			if budget == 0 {
+				break
+			}
+		}
+		if !it.hasOp {
+			c.head = (c.head + 1) % len(c.ring)
+			c.n--
+			continue
+		}
+		if !it.done || it.doneCycle > cycle {
+			break // load at head still waiting for data
+		}
+		c.robCount--
+		c.Committed++
+		c.lqInUse--
+		budget--
+		c.head = (c.head + 1) % len(c.ring)
+		c.n--
+	}
+	if c.Committed == before && c.n > 0 {
+		c.Stalls++
+	}
+}
+
+func (c *Core) dispatch(cycle int64) {
+	budget := c.cfg.IssueWidth
+	for budget > 0 && c.robCount < c.cfg.ROBEntries {
+		if c.gapLeft > 0 {
+			d := c.gapLeft
+			if d > budget {
+				d = budget
+			}
+			if room := c.cfg.ROBEntries - c.robCount; d > room {
+				d = room
+			}
+			c.addGap(d)
+			c.gapLeft -= d
+			budget -= d
+			continue
+		}
+		if !c.opPending {
+			c.fetchNext()
+			continue
+		}
+		if !c.dispatchOp(cycle) {
+			return // resource-blocked; retry next cycle
+		}
+		budget--
+		c.opPending = false
+		c.fetchNext()
+	}
+}
+
+// dispatchOp issues the current memory operation; false means a structural
+// resource (LQ, SQ, MSHR) is unavailable this cycle.
+func (c *Core) dispatchOp(cycle int64) bool {
+	switch c.cur.Op {
+	case trace.Load:
+		if c.lqInUse >= c.cfg.LQEntries {
+			return false
+		}
+		if c.cur.Dep && c.lastLoad != nil && !*c.lastLoad {
+			return false // producer load still outstanding
+		}
+		idx := c.addLoad()
+		done := new(bool)
+		ok := c.hier.Load(c.id, c.cur.Addr, cycle, func(ready int64) {
+			c.ring[idx].done = true
+			c.ring[idx].doneCycle = ready
+			*done = true
+		})
+		if !ok {
+			// Roll the speculative ROB entry back; no MSHR was free.
+			c.unwindLoad(idx)
+			return false
+		}
+		c.lqInUse++
+		c.lastLoad = done
+		return true
+
+	case trace.Store:
+		if c.sqInUse >= c.cfg.SQEntries {
+			return false
+		}
+		ok := c.hier.Store(c.id, c.cur.Addr, cycle, func(int64) { c.sqInUse-- })
+		if !ok {
+			return false
+		}
+		c.sqInUse++
+		c.addGap(1) // stores commit without blocking
+		return true
+
+	case trace.Prefetch:
+		if c.cfg.SoftwarePrefetch {
+			c.hier.Prefetch(c.id, c.cur.Addr, cycle)
+		}
+		c.addGap(1) // a prefetch (or its NOP stand-in) commits freely
+		return true
+
+	default:
+		panic(fmt.Sprintf("cpu: unknown op %v", c.cur.Op))
+	}
+}
+
+// unwindLoad removes the just-added load record (it must be the tail).
+func (c *Core) unwindLoad(idx int) {
+	if idx != c.tailIndex() || !c.ring[idx].hasOp {
+		panic("cpu: unwind of non-tail load")
+	}
+	c.ring[idx].hasOp = false
+	c.robCount--
+	if c.ring[idx].gapBefore == 0 {
+		c.n--
+	}
+}
+
+// ROBOccupancy reports instructions currently in flight (diagnostics).
+func (c *Core) ROBOccupancy() int { return c.robCount }
+
+// LQInUse and SQInUse expose queue occupancy for tests.
+func (c *Core) LQInUse() int { return c.lqInUse }
+func (c *Core) SQInUse() int { return c.sqInUse }

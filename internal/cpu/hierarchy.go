@@ -1,0 +1,312 @@
+// Package cpu implements the mechanistic out-of-order core model of
+// Table 1 and the cache hierarchy connecting the cores to the memory
+// controller. The model is in the USIMM tradition: instructions occupy ROB
+// slots and commit in order up to the issue width; loads issue their cache
+// access at dispatch and block commit at the ROB head until data returns;
+// stores allocate store-queue entries and never block commit; MSHR and
+// queue limits bound memory-level parallelism. This reproduces the
+// latency/bandwidth/MLP feedback the paper's results rest on without
+// simulating instruction semantics.
+package cpu
+
+import (
+	"fbdsim/internal/cache"
+	"fbdsim/internal/clock"
+	"fbdsim/internal/config"
+	"fbdsim/internal/hwprefetch"
+	"fbdsim/internal/memctrl"
+	"fbdsim/internal/memreq"
+)
+
+// missEntry tracks one outstanding L2 miss (one cacheline) and everyone
+// waiting for it. Requests to the same line coalesce into one entry, as
+// MSHRs do.
+type missEntry struct {
+	line    int64
+	core    int
+	dirty   bool // a store (RFO) is among the requesters
+	sw      bool // purely a software prefetch (no waiters)
+	issued  bool // accepted by the memory controller
+	waiters []func(doneCycle int64)
+}
+
+// Hierarchy owns the shared L2, the per-core L1 data caches, the MSHR
+// bookkeeping, and the writeback path. It is single-threaded: the system
+// loop drives it.
+type Hierarchy struct {
+	cfg *config.CPU
+	l1  []*cache.Cache
+	l2  *cache.Cache
+	mem *memctrl.Controller
+
+	outstanding map[int64]*missEntry
+	unissued    []*missEntry // created but not yet accepted by the controller
+	writebacks  []int64      // dirty victim lines awaiting controller space
+
+	// hwpf is the optional stream prefetcher trained by demand L2 misses.
+	hwpf *hwprefetch.Prefetcher
+
+	l2MSHRInUse int
+	reqID       int64
+	now         clock.Time // time of the current cycle, set by Tick
+
+	// Stats.
+	DemandMisses int64 // L2 demand (load/store) misses sent to memory
+	SWPrefetches int64 // software prefetches sent to memory
+	HWPrefetches int64 // hardware (stream) prefetches sent to memory
+	WBCount      int64 // writebacks sent to memory
+	DroppedPF    int64 // prefetches dropped for lack of resources
+}
+
+// NewHierarchy builds the hierarchy for cores cores sharing one L2 in
+// front of mem.
+func NewHierarchy(cfg *config.CPU, cores int, mem *memctrl.Controller) *Hierarchy {
+	h := &Hierarchy{
+		cfg:         cfg,
+		l2:          cache.New(cfg.L2KB, cfg.L2Assoc, cfg.LineBytes),
+		mem:         mem,
+		outstanding: make(map[int64]*missEntry),
+	}
+	h.l1 = make([]*cache.Cache, cores)
+	for i := range h.l1 {
+		h.l1[i] = cache.New(cfg.L1DataKB, cfg.L1Assoc, cfg.LineBytes)
+	}
+	if cfg.HardwarePrefetch {
+		pc := hwprefetch.DefaultConfig()
+		if cfg.HWPrefetchStreams > 0 {
+			pc.Streams = cfg.HWPrefetchStreams
+		}
+		if cfg.HWPrefetchDegree > 0 {
+			pc.Degree = cfg.HWPrefetchDegree
+		}
+		h.hwpf = hwprefetch.New(pc, cfg.LineBytes)
+	}
+	return h
+}
+
+// HWPrefetcher exposes the hardware prefetcher for statistics (nil when
+// disabled).
+func (h *Hierarchy) HWPrefetcher() *hwprefetch.Prefetcher { return h.hwpf }
+
+// L2 exposes the shared cache for statistics.
+func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
+
+// PrewarmL2 fills every L2 frame with placeholder lines, dirtyFrac of them
+// dirty. Short simulations then start from a realistic steady state — every
+// demand fill causes an eviction, and dirty evictions generate writeback
+// traffic from the first measured cycle instead of only after the multi-
+// million-instruction ramp a 4 MB cache would otherwise need. Placeholder
+// addresses live far above any core's address space so they never hit.
+func (h *Hierarchy) PrewarmL2(dirtyFrac float64) {
+	const base = int64(1) << 60
+	sets, ways := h.l2.Sets(), h.l2.Ways()
+	line := int64(h.cfg.LineBytes)
+	mark := int(dirtyFrac * float64(ways))
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			addr := base + (int64(w)*int64(sets)+int64(s))*line
+			h.l2.Fill(addr, w < mark)
+		}
+	}
+	// Prewarm fills are bookkeeping, not measured behaviour.
+	h.l2.Stats = cache.Stats{}
+}
+
+// L1 exposes core i's data cache for statistics.
+func (h *Hierarchy) L1(i int) *cache.Cache { return h.l1[i] }
+
+// OutstandingMisses returns the number of L2 misses in flight.
+func (h *Hierarchy) OutstandingMisses() int { return len(h.outstanding) }
+
+// Load performs core's load of addr at cycle. On success it returns true
+// and guarantees onDone will be called exactly once with the data-ready
+// cycle. It returns false when an L2 MSHR is unavailable; the core retries
+// next cycle.
+func (h *Hierarchy) Load(core int, addr int64, cycle int64, onDone func(int64)) bool {
+	if h.l1[core].Access(addr, false) {
+		onDone(cycle + int64(h.cfg.L1HitCycles))
+		return true
+	}
+	line := h.l2.LineAddr(addr)
+	if e, ok := h.outstanding[line]; ok {
+		e.waiters = append(e.waiters, onDone)
+		e.sw = false
+		if e.core != core {
+			e.core = core // fill the most recent requester's L1 too
+		}
+		return true
+	}
+	if h.l2.Access(addr, false) {
+		h.fillL1(core, addr, false)
+		onDone(cycle + int64(h.cfg.L2HitCycles))
+		return true
+	}
+	return h.startMiss(core, line, false, false, onDone)
+}
+
+// Store performs core's store of addr (write-allocate). onDone fires when
+// the store-queue entry can be released (line owned locally).
+func (h *Hierarchy) Store(core int, addr int64, cycle int64, onDone func(int64)) bool {
+	if h.l1[core].Access(addr, true) {
+		onDone(cycle + int64(h.cfg.L1HitCycles))
+		return true
+	}
+	line := h.l2.LineAddr(addr)
+	if e, ok := h.outstanding[line]; ok {
+		e.dirty = true
+		e.sw = false
+		e.waiters = append(e.waiters, onDone)
+		return true
+	}
+	if h.l2.Access(addr, true) {
+		h.fillL1(core, addr, true)
+		onDone(cycle + int64(h.cfg.L2HitCycles))
+		return true
+	}
+	return h.startMiss(core, line, true, false, onDone)
+}
+
+// Prefetch executes a software prefetch: it warms the L2 without blocking
+// anything. Short of resources it is silently dropped, as hardware does.
+func (h *Hierarchy) Prefetch(core int, addr int64, cycle int64) {
+	h.prefetchLine(core, addr, &h.SWPrefetches)
+}
+
+// prefetchLine issues a non-binding L2 fill for addr, counting it against
+// counter. Duplicate, resident or resource-starved prefetches drop.
+func (h *Hierarchy) prefetchLine(core int, addr int64, counter *int64) {
+	line := h.l2.LineAddr(addr)
+	if _, ok := h.outstanding[line]; ok {
+		return
+	}
+	if h.l2.Contains(addr) {
+		return
+	}
+	if h.l2MSHRInUse >= h.cfg.L2MSHRs {
+		h.DroppedPF++
+		return
+	}
+	e := &missEntry{line: line, core: core, sw: true}
+	h.outstanding[line] = e
+	h.l2MSHRInUse++
+	*counter++
+	if !h.issue(e) {
+		h.unissued = append(h.unissued, e)
+	}
+}
+
+// trainHW feeds the hardware prefetcher with a demand miss and issues
+// whatever it wants fetched.
+func (h *Hierarchy) trainHW(core int, line int64) {
+	if h.hwpf == nil {
+		return
+	}
+	for _, a := range h.hwpf.OnMiss(line) {
+		h.prefetchLine(core, a, &h.HWPrefetches)
+	}
+}
+
+// startMiss allocates the MSHR and memory request for a demand miss.
+func (h *Hierarchy) startMiss(core int, line int64, dirty, sw bool, onDone func(int64)) bool {
+	if h.l2MSHRInUse >= h.cfg.L2MSHRs {
+		return false
+	}
+	e := &missEntry{line: line, core: core, dirty: dirty, sw: sw}
+	if onDone != nil {
+		e.waiters = append(e.waiters, onDone)
+	}
+	h.outstanding[line] = e
+	h.l2MSHRInUse++
+	h.DemandMisses++
+	if !h.issue(e) {
+		h.unissued = append(h.unissued, e)
+	}
+	h.trainHW(core, line)
+	return true
+}
+
+// issue hands the miss to the memory controller; false means the
+// transaction buffer was full and the entry stays on the unissued list.
+func (h *Hierarchy) issue(e *missEntry) bool {
+	h.reqID++
+	req := &memreq.Request{
+		ID:         h.reqID,
+		Addr:       e.line,
+		Kind:       memreq.Read,
+		Core:       e.core,
+		SWPrefetch: e.sw,
+		OnDone:     func(r *memreq.Request) { h.complete(e, r.Done) },
+	}
+	if !h.mem.Enqueue(req, h.now) {
+		return false
+	}
+	e.issued = true
+	return true
+}
+
+// complete fills the caches and releases waiters when memory data returns.
+func (h *Hierarchy) complete(e *missEntry, at clock.Time) {
+	doneCycle := int64((at + clock.CPUCycle - 1) / clock.CPUCycle)
+	delete(h.outstanding, e.line)
+	h.l2MSHRInUse--
+
+	var victim cache.Victim
+	if e.sw {
+		victim = h.l2.FillPrefetch(e.line)
+	} else {
+		victim = h.l2.Fill(e.line, e.dirty)
+		h.fillL1(e.core, e.line, e.dirty)
+	}
+	if victim.Valid && victim.Dirty {
+		h.writeback(victim.Addr)
+	}
+	ready := doneCycle + int64(h.cfg.L2HitCycles)
+	for _, w := range e.waiters {
+		w(ready)
+	}
+}
+
+func (h *Hierarchy) fillL1(core int, addr int64, dirty bool) {
+	v := h.l1[core].Fill(addr, dirty)
+	if v.Valid && v.Dirty {
+		// Dirty L1 victim folds back into the L2.
+		lv := h.l2.Fill(v.Addr, true)
+		if lv.Valid && lv.Dirty {
+			h.writeback(lv.Addr)
+		}
+	}
+}
+
+// writeback queues a dirty line for memory.
+func (h *Hierarchy) writeback(line int64) {
+	h.writebacks = append(h.writebacks, line)
+}
+
+// Tick retries unissued misses and pending writebacks; the system loop
+// calls it every CPU cycle with the current time.
+func (h *Hierarchy) Tick(cycle int64, now clock.Time) {
+	h.now = now
+	// Retry unissued demand misses first: they block cores.
+	n := 0
+	for _, e := range h.unissued {
+		if !e.issued && !h.issue(e) {
+			h.unissued[n] = e
+			n++
+		}
+	}
+	h.unissued = h.unissued[:n]
+
+	for len(h.writebacks) > 0 {
+		h.reqID++
+		req := &memreq.Request{
+			ID:   h.reqID,
+			Addr: h.writebacks[0],
+			Kind: memreq.Write,
+		}
+		if !h.mem.Enqueue(req, now) {
+			break
+		}
+		h.WBCount++
+		h.writebacks = h.writebacks[1:]
+	}
+}

@@ -1,0 +1,219 @@
+// Package dram models DDR2 logical banks at command granularity. A Bank
+// tracks the row-buffer state and the earliest legal issue time of each
+// DRAM operation under the Table 2 timing constraints; a DIMM groups banks
+// and enforces the inter-bank tRRD spacing. Data-bus occupancy is owned by
+// the interconnect models (internal/fbdchan, internal/ddrbus), not here.
+//
+// The model is transaction-driven rather than edge-triggered: callers ask
+// "when could this command issue?" and then commit it, which keeps the
+// memory-controller schedulers simple while preserving cycle accuracy.
+package dram
+
+import (
+	"fmt"
+
+	"fbdsim/internal/clock"
+	"fbdsim/internal/config"
+)
+
+// NoRow marks a closed (precharged or precharging) bank.
+const NoRow int64 = -1
+
+// Counters accumulates DRAM operation counts for the power model
+// (Section 5.5 estimates power from ACT/PRE pairs and column accesses).
+type Counters struct {
+	ACT     int64
+	PRE     int64
+	ColRead int64 // column read accesses, including AMB prefetch fetches
+	ColWrit int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.ACT += other.ACT
+	c.PRE += other.PRE
+	c.ColRead += other.ColRead
+	c.ColWrit += other.ColWrit
+}
+
+// Columns returns the total number of column accesses.
+func (c *Counters) Columns() int64 { return c.ColRead + c.ColWrit }
+
+// Bank is one logical DRAM bank (all physical banks of a rank operated in
+// lockstep, per Section 3.2).
+type Bank struct {
+	t config.Timing
+
+	openRow int64
+	// actAt is the issue time of the most recent ACT.
+	actAt clock.Time
+	// readyAt is when the bank is precharged and may accept an ACT
+	// (tRP after the precharge).
+	readyAt clock.Time
+	// preOKAt is the earliest a PRE may issue (tRAS after ACT, tRPD after
+	// a read, tWPD after a write).
+	preOKAt clock.Time
+	// lastColEnd is when the most recent column access's bus burst ends;
+	// used by tWTR accounting at the DIMM level.
+	lastWriteDataEnd clock.Time
+}
+
+// NewBank returns a precharged, idle bank.
+func NewBank(t config.Timing) *Bank {
+	return &Bank{t: t, openRow: NoRow}
+}
+
+// OpenRow returns the currently open row, or NoRow.
+func (b *Bank) OpenRow() int64 { return b.openRow }
+
+// EarliestACT returns the earliest time ≥ now an ACT may issue. The bank
+// must be (or become) precharged; tRC from the previous ACT also applies.
+// Inter-bank tRRD is enforced by DIMM.
+func (b *Bank) EarliestACT(now clock.Time) clock.Time {
+	t := maxTime(now, b.readyAt)
+	if b.actAt > 0 || b.openRow != NoRow {
+		t = maxTime(t, b.actAt+b.t.TRC)
+	}
+	return t
+}
+
+// Activate opens row at time at. The caller must respect EarliestACT.
+func (b *Bank) Activate(at clock.Time, row int64, c *Counters) {
+	if b.openRow != NoRow {
+		panic(fmt.Sprintf("dram: ACT to open bank (row %d open)", b.openRow))
+	}
+	b.openRow = row
+	b.actAt = at
+	b.preOKAt = at + b.t.TRAS
+	c.ACT++
+}
+
+// EarliestRead returns the earliest time ≥ now a column read may issue to
+// the open row (tRCD after ACT, tWTR after the last write data).
+func (b *Bank) EarliestRead(now clock.Time) clock.Time {
+	t := maxTime(now, b.actAt+b.t.TRCD)
+	return maxTime(t, b.lastWriteDataEnd+b.t.TWTR)
+}
+
+// Read issues a column read at time at and returns when the first data
+// beats leave the DRAM (tCL later). burst is the data-bus occupancy of the
+// transfer, used to extend the precharge constraint.
+func (b *Bank) Read(at clock.Time, burst clock.Time, c *Counters) (dataAt clock.Time) {
+	b.mustBeOpen("RD")
+	b.preOKAt = maxTime(b.preOKAt, at+b.t.TRPD)
+	c.ColRead++
+	return at + b.t.TCL
+}
+
+// EarliestWrite returns the earliest time ≥ now a column write may issue.
+func (b *Bank) EarliestWrite(now clock.Time) clock.Time {
+	return maxTime(now, b.actAt+b.t.TRCD)
+}
+
+// Write issues a column write at time at; data appears tWL later and
+// occupies the bus for burst.
+func (b *Bank) Write(at clock.Time, burst clock.Time, c *Counters) (dataAt clock.Time) {
+	b.mustBeOpen("WR")
+	b.preOKAt = maxTime(b.preOKAt, at+b.t.TWPD)
+	dataAt = at + b.t.TWL
+	b.lastWriteDataEnd = dataAt + burst
+	c.ColWrit++
+	return dataAt
+}
+
+// EarliestPRE returns the earliest time ≥ now a precharge may issue.
+func (b *Bank) EarliestPRE(now clock.Time) clock.Time {
+	return maxTime(now, b.preOKAt)
+}
+
+// Precharge closes the bank at time at; it becomes ready tRP later.
+func (b *Bank) Precharge(at clock.Time, c *Counters) {
+	b.mustBeOpen("PRE")
+	b.openRow = NoRow
+	b.readyAt = at + b.t.TRP
+	c.PRE++
+}
+
+func (b *Bank) mustBeOpen(op string) {
+	if b.openRow == NoRow {
+		panic(fmt.Sprintf("dram: %s to closed bank", op))
+	}
+}
+
+func maxTime(a, b clock.Time) clock.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// DIMM groups the logical banks behind one AMB (or, for the DDR2 baseline,
+// one rank on the channel) and enforces tRRD between activations to
+// different banks, plus — when enabled — periodic all-bank refresh windows.
+type DIMM struct {
+	Banks   []*Bank
+	t       config.Timing
+	lastACT clock.Time
+	hasACT  bool
+
+	// Refresh: every refEvery the DIMM spends refBusy refreshing all
+	// banks; no new activation may start inside the window. refPhase
+	// staggers DIMMs so a channel never loses every DIMM at once.
+	refEvery clock.Time
+	refBusy  clock.Time
+	refPhase clock.Time
+}
+
+// SetRefresh enables periodic all-bank refresh: a window of busy every
+// interval, offset by phase. The paper's evaluation ignores refresh (its
+// ~1-2% bandwidth cost is common to every configuration); this extension
+// lets the ablation benchmarks quantify that assumption.
+func (d *DIMM) SetRefresh(interval, busy, phase clock.Time) {
+	if interval <= busy || busy <= 0 {
+		panic("dram: refresh interval must exceed the refresh busy time")
+	}
+	d.refEvery = interval
+	d.refBusy = busy
+	d.refPhase = phase
+}
+
+// avoidRefresh pushes t past any refresh window it falls inside.
+func (d *DIMM) avoidRefresh(t clock.Time) clock.Time {
+	if d.refEvery == 0 {
+		return t
+	}
+	pos := (t - d.refPhase) % d.refEvery
+	if pos < 0 {
+		pos += d.refEvery
+	}
+	if pos < d.refBusy {
+		return t + (d.refBusy - pos)
+	}
+	return t
+}
+
+// NewDIMM builds a DIMM with n precharged banks.
+func NewDIMM(n int, t config.Timing) *DIMM {
+	d := &DIMM{t: t, Banks: make([]*Bank, n)}
+	for i := range d.Banks {
+		d.Banks[i] = NewBank(t)
+	}
+	return d
+}
+
+// EarliestACT returns the earliest time ≥ now bank may be activated,
+// including the inter-bank tRRD constraint and any refresh window.
+func (d *DIMM) EarliestACT(bank int, now clock.Time) clock.Time {
+	t := d.Banks[bank].EarliestACT(now)
+	if d.hasACT {
+		t = maxTime(t, d.lastACT+d.t.TRRD)
+	}
+	return d.avoidRefresh(t)
+}
+
+// Activate issues the ACT and records it for tRRD tracking.
+func (d *DIMM) Activate(bank int, at clock.Time, row int64, c *Counters) {
+	d.Banks[bank].Activate(at, row, c)
+	d.lastACT = at
+	d.hasACT = true
+}

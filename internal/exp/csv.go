@@ -1,0 +1,140 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// writeRecords is the shared CSV writer: a header row followed by records.
+func writeRecords(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }
+
+// CSV exports the Figure 4 rows.
+func (data Figure4Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{r.Workload, d(r.Cores), f3(r.DDR2), f3(r.FBD)})
+	}
+	return writeRecords(w, []string{"workload", "cores", "ddr2", "fbd"}, rows)
+}
+
+// CSV exports the Figure 5 rows.
+func (data Figure5Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{r.Workload, d(r.Cores), r.System,
+			f3(r.BandwidthGBs), f1(r.LatencyNS)})
+	}
+	return writeRecords(w, []string{"workload", "cores", "system", "bandwidth_gbs", "latency_ns"}, rows)
+}
+
+// CSV exports the Figure 6 rows.
+func (data Figure6Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{d(r.Cores), d(r.RateMTs), d(r.Channels),
+			f3(r.DDR2), f3(r.FBD)})
+	}
+	return writeRecords(w, []string{"cores", "rate_mts", "channels", "ddr2", "fbd"}, rows)
+}
+
+// CSV exports the Figure 7 rows.
+func (data Figure7Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{r.Workload, d(r.Cores), f3(r.FBD), f3(r.FBDAP), f1(r.GainPct)})
+	}
+	return writeRecords(w, []string{"workload", "cores", "fbd", "fbd_ap", "gain_pct"}, rows)
+}
+
+// CSV exports the Figure 8 rows.
+func (data Figure8Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{r.Variant.Label, d(r.Variant.RegionLines),
+			d(r.Variant.Entries), d(r.Variant.Assoc), f3(r.Coverage), f3(r.Efficiency)})
+	}
+	return writeRecords(w, []string{"variant", "region_lines", "entries", "assoc", "coverage", "efficiency"}, rows)
+}
+
+// CSV exports the Figure 9 rows.
+func (data Figure9Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{d(r.Cores), f3(r.FBD), f3(r.APFL), f3(r.AP),
+			f1(r.BandwidthGainPct), f1(r.LatencyGainPct)})
+	}
+	return writeRecords(w, []string{"cores", "fbd", "fbd_apfl", "fbd_ap", "bw_gain_pct", "lat_gain_pct"}, rows)
+}
+
+// CSV exports the Figure 10 rows.
+func (data Figure10Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{r.Workload, d(r.Cores),
+			f3(r.FBDBW), f1(r.FBDLat), f3(r.APBW), f1(r.APLat)})
+	}
+	return writeRecords(w, []string{"workload", "cores", "fbd_bw_gbs", "fbd_lat_ns", "ap_bw_gbs", "ap_lat_ns"}, rows)
+}
+
+// CSV exports the Figure 11 rows.
+func (data Figure11Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{d(r.Cores), r.Variant.Label, f3(r.Normalized)})
+	}
+	return writeRecords(w, []string{"cores", "variant", "normalized"}, rows)
+}
+
+// CSV exports the Figure 12 rows.
+func (data Figure12Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{d(r.Cores), f3(r.AP), f3(r.SP), f3(r.APSP)})
+	}
+	return writeRecords(w, []string{"cores", "ap", "sp", "ap_sp"}, rows)
+}
+
+// CSV exports the Figure 13 rows.
+func (data Figure13Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{d(r.Cores), r.Variant.Label,
+			f3(r.PowerRatio), f3(r.ACTRatio), f3(r.ColRatio)})
+	}
+	return writeRecords(w, []string{"cores", "variant", "power_ratio", "act_ratio", "col_ratio"}, rows)
+}
+
+// CSV exports the E1 rows.
+func (data E1Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{d(r.Cores), f3(r.AP), f3(r.HP), f3(r.APHP)})
+	}
+	return writeRecords(w, []string{"cores", "ap", "hp", "ap_hp"}, rows)
+}
+
+// CSV exports the E2 rows.
+func (data E2Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(data.Rows))
+	for _, r := range data.Rows {
+		rows = append(rows, []string{d(r.Cores), r.System, f3(r.NoRefresh), f3(r.Refresh), f1(r.CostPct)})
+	}
+	return writeRecords(w, []string{"cores", "system", "no_refresh", "refresh", "cost_pct"}, rows)
+}

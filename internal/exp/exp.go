@@ -1,0 +1,250 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (Section 5). Each FigureN function sweeps the configurations that figure
+// varies, runs the workloads of Table 3 through the full simulator, and
+// returns rows shaped like the paper's plots. A Runner memoizes simulation
+// results so that figures sharing configurations (e.g. the FBD baseline
+// appears in Figures 4, 7, 9, 10, 12 and 13) pay for each run once, and
+// executes independent runs in parallel.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fbdsim/internal/clock"
+	"fbdsim/internal/config"
+	"fbdsim/internal/system"
+	"fbdsim/internal/workload"
+)
+
+// clockRate converts an MT/s integer into the clock.DataRate type,
+// validating it is supported.
+func clockRate(mts int) clock.DataRate {
+	r := clock.DataRate(mts)
+	if !r.Valid() {
+		panic(fmt.Sprintf("exp: unsupported data rate %d", mts))
+	}
+	return r
+}
+
+// Options bound the simulation effort of a whole experiment suite.
+type Options struct {
+	// MaxInsts / WarmupInsts override the per-run instruction budgets
+	// (defaults: 300k measured after 40k warmup — small enough to sweep
+	// every figure quickly, large enough for stable averages).
+	MaxInsts    int64
+	WarmupInsts int64
+	// Seed drives trace generation.
+	Seed int64
+	// Parallel caps concurrently running simulations (default: GOMAXPROCS).
+	Parallel int
+	// Workloads restricts the workload set (default: the full paper set —
+	// twelve single-program runs plus the fifteen Table 3 mixes).
+	Workloads []workload.Workload
+}
+
+func (o Options) norm() Options {
+	if o.MaxInsts <= 0 {
+		o.MaxInsts = 300_000
+	}
+	if o.WarmupInsts < 0 {
+		o.WarmupInsts = 0
+	} else if o.WarmupInsts == 0 {
+		o.WarmupInsts = 40_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.Workloads == nil {
+		o.Workloads = workload.All()
+	}
+	return o
+}
+
+// QuickWorkloads is a reduced set (one mix per core count) for smoke runs
+// and benchmarks.
+func QuickWorkloads() []workload.Workload {
+	ws := []workload.Workload{
+		{Name: "1C-swim", Benchmarks: []string{"swim"}},
+		{Name: "1C-vpr", Benchmarks: []string{"vpr"}},
+	}
+	for _, name := range []string{"2C-1", "4C-1", "8C-1"} {
+		w, err := workload.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// Runner executes and memoizes simulations.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+	sem   chan struct{}
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  system.Results
+	err  error
+}
+
+// NewRunner builds a Runner with the given options.
+func NewRunner(opts Options) *Runner {
+	o := opts.norm()
+	return &Runner{
+		opts:  o,
+		cache: make(map[string]*cacheEntry),
+		sem:   make(chan struct{}, o.Parallel),
+	}
+}
+
+// Options returns the normalized options in effect.
+func (r *Runner) Options() Options { return r.opts }
+
+// Run simulates cfg on the benchmark mix, memoized. The Runner's
+// instruction budgets and seed override the config's.
+func (r *Runner) Run(cfg config.Config, benchmarks []string) (system.Results, error) {
+	cfg.MaxInsts = r.opts.MaxInsts
+	cfg.WarmupInsts = r.opts.WarmupInsts
+	cfg.Seed = r.opts.Seed
+	key := fmt.Sprintf("%#v|%v", cfg, benchmarks)
+
+	r.mu.Lock()
+	e, ok := r.cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		r.cache[key] = e
+	}
+	r.mu.Unlock()
+
+	e.once.Do(func() {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		e.res, e.err = system.RunWorkload(cfg, benchmarks)
+	})
+	return e.res, e.err
+}
+
+// job is one parallel simulation request.
+type job struct {
+	cfg        config.Config
+	benchmarks []string
+}
+
+// batch runs all jobs concurrently (bounded by Parallel) and returns their
+// results in order.
+func (r *Runner) batch(jobs []job) ([]system.Results, error) {
+	results := make([]system.Results, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(jobs[i].cfg, jobs[i].benchmarks)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// refIPC returns each benchmark's single-core IPC on the reference system
+// (single-threaded execution with two-channel DDR2, the paper's SMT-speedup
+// denominator).
+func (r *Runner) refIPC(benchmarks []string) ([]float64, error) {
+	ref := config.DDR2Baseline()
+	jobs := make([]job, len(benchmarks))
+	for i, b := range benchmarks {
+		jobs[i] = job{cfg: ref, benchmarks: []string{b}}
+	}
+	results, err := r.batch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(benchmarks))
+	for i, res := range results {
+		out[i] = res.IPC[0]
+	}
+	return out, nil
+}
+
+// Speedup runs cfg on w and returns the SMT speedup against the DDR2
+// single-core reference.
+func (r *Runner) Speedup(cfg config.Config, w workload.Workload) (float64, error) {
+	res, err := r.Run(cfg, w.Benchmarks)
+	if err != nil {
+		return 0, err
+	}
+	ref, err := r.refIPC(w.Benchmarks)
+	if err != nil {
+		return 0, err
+	}
+	return workload.SMTSpeedup(res.IPC, ref), nil
+}
+
+// speedupAll computes SMT speedups of cfg across ws, warming the per-run
+// cache in parallel first.
+func (r *Runner) speedupAll(cfg config.Config, ws []workload.Workload) ([]float64, error) {
+	jobs := make([]job, 0, len(ws)*2)
+	for _, w := range ws {
+		jobs = append(jobs, job{cfg: cfg, benchmarks: w.Benchmarks})
+		for _, b := range w.Benchmarks {
+			jobs = append(jobs, job{cfg: config.DDR2Baseline(), benchmarks: []string{b}})
+		}
+	}
+	if _, err := r.batch(jobs); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ws))
+	for i, w := range ws {
+		s, err := r.Speedup(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// coreGroups partitions the options' workload set by core count, in
+// presentation order (1, 2, 4, 8), skipping empty groups.
+func (r *Runner) coreGroups() []coreGroup {
+	var groups []coreGroup
+	for _, n := range []int{1, 2, 4, 8} {
+		ws := workload.ByCores(r.opts.Workloads, n)
+		if len(ws) > 0 {
+			groups = append(groups, coreGroup{Cores: n, Workloads: ws})
+		}
+	}
+	return groups
+}
+
+type coreGroup struct {
+	Cores     int
+	Workloads []workload.Workload
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

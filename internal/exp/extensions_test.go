@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExtensionHWPrefetchShape: hardware prefetching helps alone and
+// composes with AMB prefetching; its benefit shrinks as channel contention
+// rises (the paper's argument for prefetching below the channel).
+func TestExtensionHWPrefetchShape(t *testing.T) {
+	r := testRunner()
+	d, err := ExtensionHWPrefetch(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	byCores := map[int]E1Row{}
+	for _, row := range d.Rows {
+		byCores[row.Cores] = row
+		if row.AP < 0.98 {
+			t.Errorf("@%d cores AP arm lost to no prefetching: %.3f", row.Cores, row.AP)
+		}
+		if row.HP < 0.95 {
+			t.Errorf("@%d cores HP arm badly lost to no prefetching: %.3f", row.Cores, row.HP)
+		}
+		if row.APHP < row.AP*0.97 {
+			t.Errorf("@%d cores AP+HP %.3f far below AP alone %.3f", row.Cores, row.APHP, row.AP)
+		}
+	}
+	// HP's relative benefit must decay from 1 core to 8 cores (it spends
+	// channel bandwidth that contention makes precious).
+	if one, ok1 := byCores[1]; ok1 {
+		if eight, ok8 := byCores[8]; ok8 && eight.HP > one.HP {
+			t.Errorf("HP benefit should shrink with cores: %.3f @1C vs %.3f @8C", one.HP, eight.HP)
+		}
+	}
+	var buf bytes.Buffer
+	d.Format(&buf)
+	if !strings.Contains(buf.String(), "AP+HP") {
+		t.Error("Format output malformed")
+	}
+}
+
+// TestExtensionRefreshShape: refresh costs a few percent at most and never
+// flips the AP-vs-FBD comparison.
+func TestExtensionRefreshShape(t *testing.T) {
+	r := testRunner()
+	d, err := ExtensionRefresh(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range d.Rows {
+		if row.CostPct > 8 || row.CostPct < -8 {
+			t.Errorf("@%d cores %s: refresh cost %.2f%% implausible (duty cycle is 1.6%%)",
+				row.Cores, row.System, row.CostPct)
+		}
+	}
+	var buf bytes.Buffer
+	d.Format(&buf)
+	if !strings.Contains(buf.String(), "tREFI") {
+		t.Error("Format output malformed")
+	}
+}
+
+// TestExtensionPermutationShape: AMB prefetching cuts conflicts far below
+// either baseline; every system keeps a sane speedup.
+func TestExtensionPermutationShape(t *testing.T) {
+	r := testRunner()
+	d, err := ExtensionPermutation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conflicts := map[string]float64{}
+	for _, row := range d.Rows {
+		if row.Speedup <= 0 {
+			t.Errorf("%s @%dC: degenerate speedup", row.System, row.Cores)
+		}
+		conflicts[row.System] += row.ConflictsPerKRead
+	}
+	if conflicts["FBD-AP"] >= conflicts["FBD"] {
+		t.Errorf("AP should cut conflicts: %.0f vs %.0f", conflicts["FBD-AP"], conflicts["FBD"])
+	}
+	if _, ok := conflicts["FBD-open+perm"]; !ok {
+		t.Error("open-page permutation arm missing")
+	}
+}
+
+// TestExtensionSeedSensitivity: across seeds the headline gain stays
+// positive at every core count (the paper's "no negative speedup" claim
+// is not a lucky draw).
+func TestExtensionSeedSensitivity(t *testing.T) {
+	r := NewRunner(Options{
+		MaxInsts:    40_000,
+		WarmupInsts: 5_000,
+		Workloads:   QuickWorkloads()[:3],
+	})
+	d, err := ExtensionSeedSensitivity(r, []int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range d.Rows {
+		if row.MinPct > row.MeanPct || row.MeanPct > row.MaxPct {
+			t.Errorf("@%dC: min/mean/max out of order: %+v", row.Cores, row)
+		}
+		if row.MinPct < 0 {
+			t.Errorf("@%dC: a seed produced a negative average gain (%.1f%%)", row.Cores, row.MinPct)
+		}
+	}
+}
+
+// TestExtensionDDR3Shape: DDR3 beats DDR2 device bandwidth, and the AMB
+// prefetching gain survives the generation change.
+func TestExtensionDDR3Shape(t *testing.T) {
+	r := testRunner()
+	d, err := ExtensionDDR3(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range d.Rows {
+		if row.FBD3 < row.FBD2*0.95 {
+			t.Errorf("@%dC: DDR3 baseline (%.3f) clearly below DDR2 (%.3f)",
+				row.Cores, row.FBD3, row.FBD2)
+		}
+		if row.APGain3Pct <= 0 {
+			t.Errorf("@%dC: AMB prefetching gain vanished on DDR3 (%.1f%%)",
+				row.Cores, row.APGain3Pct)
+		}
+	}
+}

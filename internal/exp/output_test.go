@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// formatterT, plotterT and csverT mirror the cmd/paperexp adapters.
+type formatterT interface{ Format(w io.Writer) }
+type plotterT interface{ Plot(w io.Writer) }
+type csverT interface{ CSV(w io.Writer) error }
+
+// TestEveryFigureOutputSurface runs every experiment once on a tiny budget
+// and pushes the result through all its output formats: Format always,
+// Plot and CSV where implemented. Everything must produce non-trivial,
+// well-formed output.
+func TestEveryFigureOutputSurface(t *testing.T) {
+	r := NewRunner(Options{
+		MaxInsts:    40_000,
+		WarmupInsts: 5_000,
+		Workloads:   QuickWorkloads()[:3], // swim, vpr, 2C-1
+	})
+
+	figures := []struct {
+		name string
+		run  func() (formatterT, error)
+	}{
+		{"Figure4", func() (formatterT, error) { d, err := Figure4(r); return d, err }},
+		{"Figure5", func() (formatterT, error) { d, err := Figure5(r); return d, err }},
+		{"Figure6", func() (formatterT, error) { d, err := Figure6(r); return d, err }},
+		{"Figure7", func() (formatterT, error) { d, err := Figure7(r); return d, err }},
+		{"Figure8", func() (formatterT, error) { d, err := Figure8(r); return d, err }},
+		{"Figure9", func() (formatterT, error) { d, err := Figure9(r); return d, err }},
+		{"Figure10", func() (formatterT, error) { d, err := Figure10(r); return d, err }},
+		{"Figure11", func() (formatterT, error) { d, err := Figure11(r); return d, err }},
+		{"Figure12", func() (formatterT, error) { d, err := Figure12(r); return d, err }},
+		{"Figure13", func() (formatterT, error) { d, err := Figure13(r); return d, err }},
+		{"E1", func() (formatterT, error) { d, err := ExtensionHWPrefetch(r); return d, err }},
+		{"E2", func() (formatterT, error) { d, err := ExtensionRefresh(r); return d, err }},
+		{"E3", func() (formatterT, error) { d, err := ExtensionPermutation(r); return d, err }},
+	}
+	for _, fig := range figures {
+		t.Run(fig.name, func(t *testing.T) {
+			d, err := fig.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			d.Format(&out)
+			if out.Len() < 40 || strings.Count(out.String(), "\n") < 2 {
+				t.Errorf("Format output too small:\n%s", out.String())
+			}
+			if p, ok := d.(plotterT); ok {
+				var plot bytes.Buffer
+				p.Plot(&plot)
+				if plot.Len() < 40 {
+					t.Errorf("Plot output too small:\n%s", plot.String())
+				}
+			}
+			if c, ok := d.(csverT); ok {
+				var csvOut bytes.Buffer
+				if err := c.CSV(&csvOut); err != nil {
+					t.Fatalf("CSV: %v", err)
+				}
+				lines := strings.Split(strings.TrimSpace(csvOut.String()), "\n")
+				if len(lines) < 2 {
+					t.Fatalf("CSV has no data rows:\n%s", csvOut.String())
+				}
+				cols := strings.Count(lines[0], ",")
+				for i, line := range lines {
+					if strings.Count(line, ",") != cols {
+						t.Errorf("CSV row %d has inconsistent columns: %q", i, line)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFigure6ChannelMonotonicity: more channels never hurt, at any rate.
+func TestFigure6ChannelMonotonicity(t *testing.T) {
+	r := NewRunner(Options{
+		MaxInsts:    40_000,
+		WarmupInsts: 5_000,
+		Workloads:   QuickWorkloads()[:3],
+	})
+	d, err := Figure6(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ cores, rate int }
+	byCh := map[key]map[int]float64{}
+	for _, row := range d.Rows {
+		k := key{row.Cores, row.RateMTs}
+		if byCh[k] == nil {
+			byCh[k] = map[int]float64{}
+		}
+		byCh[k][row.Channels] = row.FBD
+	}
+	for k, m := range byCh {
+		// Allow small noise: 4 channels must at least match 1 channel.
+		if m[4] < m[1]*0.98 {
+			t.Errorf("%+v: 4 channels (%.3f) slower than 1 (%.3f)", k, m[4], m[1])
+		}
+	}
+}
+
+// TestFigure10EveryWorkloadImproves: the Figure 10 claim, on the quick set.
+func TestFigure10EveryWorkloadImproves(t *testing.T) {
+	r := testRunner()
+	d, err := Figure10(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range d.Rows {
+		if row.APLat >= row.FBDLat {
+			t.Errorf("%s: AP latency %.1f not below FBD %.1f", row.Workload, row.APLat, row.FBDLat)
+		}
+		if row.APBW < row.FBDBW*0.98 {
+			t.Errorf("%s: AP bandwidth %.2f below FBD %.2f", row.Workload, row.APBW, row.FBDBW)
+		}
+	}
+}

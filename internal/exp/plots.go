@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"fbdsim/internal/textplot"
+)
+
+// Plot renders Figure 4 as a bar chart of per-core-count average speedups.
+func (d Figure4Data) Plot(w io.Writer) {
+	var bars []textplot.Bar
+	sums := map[int][2]float64{}
+	counts := map[int]int{}
+	for _, row := range d.Rows {
+		s := sums[row.Cores]
+		s[0] += row.DDR2
+		s[1] += row.FBD
+		sums[row.Cores] = s
+		counts[row.Cores]++
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		if c := counts[n]; c > 0 {
+			bars = append(bars,
+				textplot.Bar{Label: fmt.Sprintf("%dC DDR2", n), Value: sums[n][0] / float64(c)},
+				textplot.Bar{Label: fmt.Sprintf("%dC FBD ", n), Value: sums[n][1] / float64(c)})
+		}
+	}
+	textplot.BarChart(w, "Figure 4  avg SMT speedup (ref: single-core DDR2)", bars, 48, 1.0)
+}
+
+// Plot renders Figure 5's bandwidth-vs-latency scatter ('d' DDR2, 'f' FBD).
+func (d Figure5Data) Plot(w io.Writer) {
+	var pts []textplot.Point
+	for _, row := range d.Rows {
+		g := 'd'
+		if row.System == "FBD" {
+			g = 'f'
+		}
+		pts = append(pts, textplot.Point{X: row.BandwidthGBs, Y: row.LatencyNS, Glyph: g})
+	}
+	textplot.Scatter(w, "Figure 5  utilized bandwidth vs latency (d=DDR2, f=FBD)",
+		"utilized bandwidth GB/s", "avg latency ns", pts, 56, 16)
+}
+
+// Plot renders Figure 7 as per-workload AP gain bars.
+func (d Figure7Data) Plot(w io.Writer) {
+	var bars []textplot.Bar
+	for _, row := range d.Rows {
+		bars = append(bars, textplot.Bar{
+			Label: fmt.Sprintf("%-10s", row.Workload),
+			Value: row.GainPct,
+		})
+	}
+	textplot.BarChart(w, "Figure 7  AMB-prefetching gain % per workload", bars, 48, 0)
+}
+
+// Plot renders Figure 8 as coverage/efficiency bars per variant.
+func (d Figure8Data) Plot(w io.Writer) {
+	var bars []textplot.Bar
+	for _, row := range d.Rows {
+		bars = append(bars,
+			textplot.Bar{Label: row.Variant.Label + " cov", Value: row.Coverage},
+			textplot.Bar{Label: row.Variant.Label + " eff", Value: row.Efficiency})
+	}
+	textplot.BarChart(w, "Figure 8  prefetch coverage / efficiency", bars, 48, 0)
+}
+
+// Plot renders Figure 10's scatter ('f' FBD, 'a' FBD-AP). Every 'a' point
+// should sit below-right of its 'f' partner.
+func (d Figure10Data) Plot(w io.Writer) {
+	var pts []textplot.Point
+	for _, row := range d.Rows {
+		pts = append(pts,
+			textplot.Point{X: row.FBDBW, Y: row.FBDLat, Glyph: 'f'},
+			textplot.Point{X: row.APBW, Y: row.APLat, Glyph: 'a'})
+	}
+	textplot.Scatter(w, "Figure 10  bandwidth vs latency (f=FBD, a=FBD-AP)",
+		"utilized bandwidth GB/s", "avg latency ns", pts, 56, 16)
+}
+
+// Plot renders Figure 13 as normalized-power bars (below the 1.0 baseline
+// means saving).
+func (d Figure13Data) Plot(w io.Writer) {
+	var bars []textplot.Bar
+	for _, row := range d.Rows {
+		bars = append(bars, textplot.Bar{
+			Label: fmt.Sprintf("%dC %-12s", row.Cores, row.Variant.Label),
+			Value: row.PowerRatio,
+		})
+	}
+	textplot.BarChart(w, "Figure 13  normalized DRAM dynamic energy (|=FBD baseline)", bars, 48, 1.0)
+}

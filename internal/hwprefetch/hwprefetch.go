@@ -1,0 +1,183 @@
+// Package hwprefetch implements a stream-based hardware L2 prefetcher in
+// the stream-buffer tradition the paper cites (Jouppi; Sherwood's
+// predictor-directed stream buffers). Section 5.4 evaluates AMB prefetching
+// only against software prefetching and conjectures that "AMB prefetching
+// will improve performance similarly if hardware prefetching is used"; this
+// package provides the extension experiment that tests the conjecture
+// (see exp.ExtensionHWPrefetch).
+//
+// The design is deliberately conventional: a small table of stream entries
+// trained by L2 demand-miss addresses. A stream allocates on a miss with no
+// matching entry, trains when a subsequent miss lands on the next line in
+// either direction, and once confident emits prefetches `Degree` lines
+// ahead of the observed head.
+package hwprefetch
+
+// Config sizes the prefetcher.
+type Config struct {
+	// Streams is the number of concurrently tracked miss streams.
+	Streams int
+	// Degree is how many lines each trained trigger prefetches ahead.
+	Degree int
+	// TrainThreshold is the number of consecutive in-order misses needed
+	// before a stream starts prefetching.
+	TrainThreshold int
+}
+
+// DefaultConfig mirrors a modest mid-2000s stream prefetcher.
+func DefaultConfig() Config {
+	return Config{Streams: 16, Degree: 4, TrainThreshold: 2}
+}
+
+type entry struct {
+	valid    bool
+	lastLine int64
+	dir      int64 // +1 ascending, -1 descending
+	score    int
+	head     int64 // furthest line already prefetched (exclusive)
+	use      int64
+}
+
+// Prefetcher is one shared L2-side stream prefetcher. Not goroutine-safe.
+type Prefetcher struct {
+	cfg       Config
+	lineBytes int64
+	table     []entry
+	tick      int64
+
+	// Stats.
+	Trained   int64 // streams that reached the confidence threshold
+	Issued    int64 // prefetch addresses emitted
+	Allocated int64 // table allocations
+}
+
+// New builds the prefetcher for the given cacheline size.
+func New(cfg Config, lineBytes int) *Prefetcher {
+	if cfg.Streams < 1 || cfg.Degree < 1 || cfg.TrainThreshold < 1 {
+		panic("hwprefetch: degenerate configuration")
+	}
+	return &Prefetcher{
+		cfg:       cfg,
+		lineBytes: int64(lineBytes),
+		table:     make([]entry, cfg.Streams),
+	}
+}
+
+// OnMiss trains the prefetcher with a demand L2 miss and returns the line
+// addresses to prefetch (possibly none). The caller issues them as
+// non-binding prefetches.
+func (p *Prefetcher) OnMiss(addr int64) []int64 {
+	line := addr / p.lineBytes
+	p.tick++
+
+	// Find the entry this miss continues: the miss line must be within a
+	// small window ahead of the stream in its direction.
+	best := -1
+	for i := range p.table {
+		e := &p.table[i]
+		if !e.valid {
+			continue
+		}
+		d := line - e.lastLine
+		if e.dir < 0 {
+			d = -d
+		}
+		if d >= 0 && d <= 4 {
+			best = i
+			break
+		}
+		// An untrained entry may still pick its direction from the second
+		// miss.
+		if e.score == 0 && (d == -1 || d == 1) {
+			best = i
+			break
+		}
+	}
+	if best < 0 {
+		p.allocate(line)
+		return nil
+	}
+
+	e := &p.table[best]
+	e.use = p.tick
+	step := line - e.lastLine
+	switch {
+	case step == 0:
+		return nil // same line re-missed (MSHR race); nothing to learn
+	case e.score == 0 && (step == 1 || step == -1):
+		e.dir = step
+		e.score = 1
+	case step == e.dir || (step > 0) == (e.dir > 0):
+		if e.score < 8 {
+			e.score++
+		}
+		if e.score == p.cfg.TrainThreshold {
+			p.Trained++
+			e.head = line // prefetching starts ahead of here
+		}
+	default:
+		// Direction broke: retrain from this point.
+		e.dir = 0
+		e.score = 0
+	}
+	e.lastLine = line
+
+	if e.score < p.cfg.TrainThreshold {
+		return nil
+	}
+	// Emit up to Degree lines ahead of the observed head, continuing from
+	// whatever was already covered.
+	target := line + e.dir*int64(p.cfg.Degree)
+	out := make([]int64, 0, p.cfg.Degree)
+	next := e.head + e.dir
+	if e.dir > 0 && next <= line {
+		next = line + 1
+	}
+	if e.dir < 0 && next >= line {
+		next = line - 1
+	}
+	for l := next; ; l += e.dir {
+		if e.dir > 0 && l > target {
+			break
+		}
+		if e.dir < 0 && l < target {
+			break
+		}
+		if l < 0 {
+			break
+		}
+		out = append(out, l*p.lineBytes)
+	}
+	if len(out) > 0 {
+		e.head = target
+		p.Issued += int64(len(out))
+	}
+	return out
+}
+
+func (p *Prefetcher) allocate(line int64) {
+	victim := 0
+	for i := range p.table {
+		if !p.table[i].valid {
+			victim = i
+			goto install
+		}
+		if p.table[i].use < p.table[victim].use {
+			victim = i
+		}
+	}
+install:
+	p.table[victim] = entry{valid: true, lastLine: line, use: p.tick}
+	p.Allocated++
+}
+
+// Accuracy helpers for tests and experiments.
+func (p *Prefetcher) TableOccupancy() int {
+	n := 0
+	for _, e := range p.table {
+		if e.valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,150 @@
+package hwprefetch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func collect(p *Prefetcher, lines ...int64) []int64 {
+	var out []int64
+	for _, l := range lines {
+		out = append(out, p.OnMiss(l*64)...)
+	}
+	return out
+}
+
+func TestAscendingStreamTrains(t *testing.T) {
+	p := New(DefaultConfig(), 64)
+	// First two misses allocate + set direction; third reaches the
+	// threshold and triggers prefetches.
+	if got := collect(p, 100, 101); len(got) != 0 {
+		t.Fatalf("prefetched before training: %v", got)
+	}
+	got := collect(p, 102)
+	if len(got) == 0 {
+		t.Fatal("trained stream issued nothing")
+	}
+	for i, a := range got {
+		want := (103 + int64(i)) * 64
+		if a != want {
+			t.Errorf("prefetch %d = line %d, want %d", i, a/64, want/64)
+		}
+	}
+	if p.Trained != 1 {
+		t.Errorf("trained = %d", p.Trained)
+	}
+}
+
+func TestDescendingStream(t *testing.T) {
+	p := New(DefaultConfig(), 64)
+	got := collect(p, 500, 499, 498)
+	if len(got) == 0 {
+		t.Fatal("descending stream not detected")
+	}
+	for _, a := range got {
+		if a/64 >= 498 {
+			t.Errorf("descending prefetch went the wrong way: line %d", a/64)
+		}
+	}
+}
+
+func TestNoDuplicatePrefetches(t *testing.T) {
+	p := New(DefaultConfig(), 64)
+	collect(p, 100, 101, 102)
+	// The next miss advances the stream by one; only the uncovered lines
+	// should be prefetched again.
+	got := collect(p, 103)
+	seen := map[int64]bool{}
+	for _, a := range got {
+		if seen[a] {
+			t.Fatalf("duplicate prefetch %d", a/64)
+		}
+		seen[a] = true
+		if a/64 <= 106 { // degree 4 from line 102 already covered 103..106
+			t.Errorf("re-prefetched covered line %d", a/64)
+		}
+	}
+}
+
+func TestRandomMissesStaySilent(t *testing.T) {
+	p := New(DefaultConfig(), 64)
+	rng := rand.New(rand.NewSource(3))
+	issued := 0
+	for i := 0; i < 2000; i++ {
+		issued += len(p.OnMiss(int64(rng.Intn(1<<26)) * 64))
+	}
+	// Random addresses should almost never train a stream.
+	if issued > 40 {
+		t.Errorf("random misses issued %d prefetches", issued)
+	}
+}
+
+func TestInterleavedStreams(t *testing.T) {
+	p := New(DefaultConfig(), 64)
+	// Two streams advancing in lockstep, far apart.
+	var issued []int64
+	a, b := int64(1000), int64(900000)
+	for i := int64(0); i < 6; i++ {
+		issued = append(issued, p.OnMiss((a+i)*64)...)
+		issued = append(issued, p.OnMiss((b+i)*64)...)
+	}
+	if p.Trained != 2 {
+		t.Fatalf("trained = %d, want both streams", p.Trained)
+	}
+	near, far := false, false
+	for _, x := range issued {
+		if x/64 > a && x/64 < a+100 {
+			near = true
+		}
+		if x/64 > b && x/64 < b+100 {
+			far = true
+		}
+	}
+	if !near || !far {
+		t.Error("both streams should prefetch")
+	}
+}
+
+func TestDirectionBreakRetrains(t *testing.T) {
+	p := New(DefaultConfig(), 64)
+	collect(p, 100, 101, 102) // trained ascending
+	// A jump backwards within the window breaks direction.
+	p.OnMiss(99 * 64)
+	got := p.OnMiss(98 * 64)
+	_ = got // may or may not emit during retrain; must not panic
+}
+
+func TestTableLRUAllocation(t *testing.T) {
+	p := New(Config{Streams: 2, Degree: 2, TrainThreshold: 2}, 64)
+	p.OnMiss(1000 * 64)
+	p.OnMiss(2000 * 64)
+	if p.TableOccupancy() != 2 {
+		t.Fatalf("occupancy = %d", p.TableOccupancy())
+	}
+	p.OnMiss(3000 * 64) // evicts the LRU entry (1000)
+	if p.TableOccupancy() != 2 {
+		t.Fatalf("occupancy = %d after eviction", p.TableOccupancy())
+	}
+	if p.Allocated != 3 {
+		t.Errorf("allocations = %d", p.Allocated)
+	}
+}
+
+func TestSameLineRemissIgnored(t *testing.T) {
+	p := New(DefaultConfig(), 64)
+	collect(p, 100, 101, 102)
+	before := p.Issued
+	p.OnMiss(102 * 64) // MSHR race re-miss
+	if p.Issued != before {
+		t.Error("same-line re-miss must not issue")
+	}
+}
+
+func TestDegenerateConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{}, 64)
+}

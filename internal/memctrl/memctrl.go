@@ -1,0 +1,415 @@
+// Package memctrl implements the memory controller of Section 4.1: a
+// transaction buffer per logical channel, hit-first scheduling (requests
+// that will be served fast — AMB-cache hits or open-row hits — go before
+// full DRAM accesses), and read priority over writes until the write queue
+// exceeds a drain threshold. The controller adds a fixed 12 ns pipeline
+// overhead to every transaction and drives either the FB-DIMM or the DDR2
+// channel model.
+package memctrl
+
+import (
+	"container/heap"
+
+	"fbdsim/internal/addrmap"
+	"fbdsim/internal/ambcache"
+	"fbdsim/internal/clock"
+	"fbdsim/internal/config"
+	"fbdsim/internal/ddrbus"
+	"fbdsim/internal/dram"
+	"fbdsim/internal/fbdchan"
+	"fbdsim/internal/memreq"
+	"fbdsim/internal/stats"
+)
+
+// channelModel is the contract both interconnect models satisfy.
+type channelModel interface {
+	IsFastRead(addr int64) bool
+	ScheduleRead(addr int64, ready clock.Time) (dataAt clock.Time, ambHit bool)
+	// ScheduleWrite handles a batch of writebacks that share one DRAM row.
+	ScheduleWrite(addrs []int64, ready clock.Time) clock.Time
+	Housekeep(horizon clock.Time)
+}
+
+var (
+	_ channelModel = (*fbdchan.Channel)(nil)
+	_ channelModel = (*ddrbus.Channel)(nil)
+)
+
+// Stats aggregates the controller-level measurements the experiments use.
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	AMBHits      int64
+	ReadLatency  clock.Time // sum over completed reads, arrival → data
+	ReadsDone    int64
+	QueueRejects int64 // enqueue attempts refused because the buffer was full
+}
+
+// AvgReadLatency returns the mean read latency in nanoseconds.
+func (s Stats) AvgReadLatency() float64 {
+	if s.ReadsDone == 0 {
+		return 0
+	}
+	return s.ReadLatency.Nanoseconds() / float64(s.ReadsDone)
+}
+
+// Controller is the memory controller plus its attached channels. It is the
+// complete memory system seen by the cache hierarchy.
+type Controller struct {
+	cfg    config.Mem
+	mapper *addrmap.Mapper
+
+	chans []channelModel
+	fbd   []*fbdchan.Channel // non-nil entries when Kind == FBDIMM
+	ddr   []*ddrbus.Channel  // non-nil entries when Kind == DDR2
+
+	readQ  [][]*memreq.Request
+	writeQ [][]*memreq.Request
+	// draining marks channels in write-drain mode: entered when the write
+	// queue tops WriteDrainThreshold, left when nearly empty. Hysteresis
+	// lets sequential writebacks accumulate so same-row batches form.
+	draining []bool
+
+	completions completionHeap
+	// inflight counts issued-but-uncompleted transactions per channel;
+	// leftover writes below the drain threshold flush only when their
+	// channel is fully quiescent, so batching opportunities survive
+	// active phases.
+	inflight []int
+	ticks    int64
+
+	// Stats accumulates controller-level counters.
+	Stats Stats
+	// LatHist records the distribution of completed read latencies
+	// (arrival to data return); the tail of this distribution is what
+	// stalls ROB heads.
+	LatHist *stats.Histogram
+}
+
+// New builds the controller for a validated memory configuration.
+func New(cfg *config.Mem) *Controller {
+	m := addrmap.New(cfg)
+	c := &Controller{
+		cfg:      *cfg,
+		mapper:   m,
+		chans:    make([]channelModel, cfg.LogicalChannels),
+		readQ:    make([][]*memreq.Request, cfg.LogicalChannels),
+		writeQ:   make([][]*memreq.Request, cfg.LogicalChannels),
+		draining: make([]bool, cfg.LogicalChannels),
+		inflight: make([]int, cfg.LogicalChannels),
+		LatHist:  &stats.Histogram{},
+	}
+	switch cfg.Kind {
+	case config.FBDIMM:
+		c.fbd = make([]*fbdchan.Channel, cfg.LogicalChannels)
+		for i := range c.chans {
+			c.fbd[i] = fbdchan.New(&c.cfg, m)
+			c.chans[i] = c.fbd[i]
+		}
+	case config.DDR2:
+		c.ddr = make([]*ddrbus.Channel, cfg.LogicalChannels)
+		for i := range c.chans {
+			c.ddr[i] = ddrbus.New(&c.cfg, m)
+			c.chans[i] = c.ddr[i]
+		}
+	default:
+		panic("memctrl: unknown memory kind")
+	}
+	return c
+}
+
+// Mapper exposes the address mapper (the cache hierarchy aligns addresses
+// with it).
+func (c *Controller) Mapper() *addrmap.Mapper { return c.mapper }
+
+// TCK returns the memory clock period driving Tick.
+func (c *Controller) TCK() clock.Time { return c.cfg.DataRate.TCK() }
+
+// CanAccept reports whether the channel serving addr has buffer space for
+// another transaction of the given kind.
+func (c *Controller) CanAccept(addr int64, kind memreq.Kind) bool {
+	ch := c.mapper.Map(addr).Channel
+	if kind == memreq.Read {
+		return len(c.readQ[ch]) < c.cfg.QueueEntries
+	}
+	return len(c.writeQ[ch]) < c.cfg.QueueEntries
+}
+
+// Enqueue presents a transaction to the controller at time now. It returns
+// false (and counts a reject) when the transaction buffer is full; the
+// caller retries later, modelling MSHR-held requests.
+func (c *Controller) Enqueue(req *memreq.Request, now clock.Time) bool {
+	if !c.CanAccept(req.Addr, req.Kind) {
+		c.Stats.QueueRejects++
+		return false
+	}
+	req.Arrived = now
+	ch := c.mapper.Map(req.Addr).Channel
+	if req.Kind == memreq.Read {
+		c.readQ[ch] = append(c.readQ[ch], req)
+	} else {
+		c.writeQ[ch] = append(c.writeQ[ch], req)
+	}
+	return true
+}
+
+// QueuedReads returns the number of reads buffered across all channels
+// (used by tests and backpressure diagnostics).
+func (c *Controller) QueuedReads() int {
+	n := 0
+	for _, q := range c.readQ {
+		n += len(q)
+	}
+	return n
+}
+
+// QueuedWrites returns the number of buffered writes across all channels.
+func (c *Controller) QueuedWrites() int {
+	n := 0
+	for _, q := range c.writeQ {
+		n += len(q)
+	}
+	return n
+}
+
+// Pending returns the number of issued-but-uncompleted transactions.
+func (c *Controller) Pending() int { return len(c.completions) }
+
+// Tick advances the controller one memory clock: it issues at most one new
+// transaction per channel and fires completion callbacks whose time has
+// come. Callers invoke it once per tCK with a monotonically increasing now.
+func (c *Controller) Tick(now clock.Time) {
+	for ch := range c.chans {
+		c.issue(ch, now)
+	}
+	for len(c.completions) > 0 && c.completions[0].at <= now {
+		done := heap.Pop(&c.completions).(completion)
+		c.inflight[done.ch]--
+		req := done.req
+		req.Done = done.at
+		if req.Kind == memreq.Read {
+			c.Stats.ReadLatency += done.at - req.Arrived
+			c.Stats.ReadsDone++
+			c.LatHist.Observe(done.at - req.Arrived)
+		}
+		if req.OnDone != nil {
+			req.OnDone(req)
+		}
+	}
+	c.ticks++
+	if c.ticks%4096 == 0 {
+		for _, ch := range c.chans {
+			ch.Housekeep(now)
+		}
+	}
+}
+
+// issue picks and schedules at most one transaction on channel ch.
+//
+// Policy (Section 4.1): reads before writes unless the write buffer is
+// above its threshold; among reads, hit-first — the oldest read that the
+// channel can serve without a full DRAM access wins, then the oldest read.
+func (c *Controller) issue(ch int, now clock.Time) {
+	model := c.chans[ch]
+	switch {
+	case len(c.writeQ[ch]) > c.cfg.WriteDrainThreshold:
+		c.draining[ch] = true
+	case len(c.writeQ[ch]) == 0:
+		c.draining[ch] = false
+	}
+
+	if !c.draining[ch] {
+		if req, idx := c.pickRead(ch, now, model); req != nil {
+			c.removeRead(ch, idx)
+			c.startRead(req, model)
+			return
+		}
+		// Work conservation: once the channel is fully quiescent (no
+		// queued or in-flight reads that a drain burst could batch
+		// behind), leftover writes below the threshold still go out
+		// rather than sitting forever.
+		if len(c.readQ[ch]) == 0 && c.inflight[ch] == 0 {
+			if batch := c.pickWriteBatch(ch, now); len(batch) > 0 {
+				c.startWrites(batch, model)
+			}
+		}
+		return
+	}
+	if batch := c.pickWriteBatch(ch, now); len(batch) > 0 {
+		c.startWrites(batch, model)
+		return
+	}
+	// Drain mode but no eligible write: fall back to a ready read so the
+	// channel never idles with work available.
+	if req, idx := c.pickRead(ch, now, model); req != nil {
+		c.removeRead(ch, idx)
+		c.startRead(req, model)
+	}
+}
+
+// pickRead returns the scheduled-next read and its queue index, or nil.
+// Only requests whose controller pipeline delay has elapsed are eligible.
+func (c *Controller) pickRead(ch int, now clock.Time, model channelModel) (*memreq.Request, int) {
+	oldest := -1
+	for i, req := range c.readQ[ch] {
+		if req.Arrived+c.cfg.CtrlOverhead > now+c.TCK() {
+			continue // still in the controller pipeline
+		}
+		if model.IsFastRead(req.Addr) {
+			return req, i // oldest fast read wins immediately
+		}
+		if oldest < 0 {
+			oldest = i
+		}
+	}
+	if oldest < 0 {
+		return nil, -1
+	}
+	return c.readQ[ch][oldest], oldest
+}
+
+// pickWriteBatch removes and returns the oldest eligible write plus every
+// other queued write sharing its DRAM region (same bank and row): the
+// controller's hit-first policy applied to the write stream, which lets one
+// activation serve a run of sequential writebacks under multi-cacheline
+// interleaving.
+func (c *Controller) pickWriteBatch(ch int, now clock.Time) []*memreq.Request {
+	q := c.writeQ[ch]
+	if len(q) == 0 {
+		return nil
+	}
+	head := q[0]
+	if head.Arrived+c.cfg.CtrlOverhead > now+c.TCK() {
+		return nil
+	}
+	region := c.mapper.RegionID(head.Addr)
+	batch := []*memreq.Request{head}
+	n := 0
+	for _, req := range q[1:] {
+		if req != head && c.mapper.RegionID(req.Addr) == region {
+			batch = append(batch, req)
+			continue
+		}
+		q[n] = req
+		n++
+	}
+	c.writeQ[ch] = q[:n]
+	return batch
+}
+
+func (c *Controller) removeRead(ch, idx int) {
+	q := c.readQ[ch]
+	c.readQ[ch] = append(q[:idx], q[idx+1:]...)
+}
+
+func (c *Controller) startRead(req *memreq.Request, model channelModel) {
+	ready := req.Arrived + c.cfg.CtrlOverhead
+	dataAt, hit := model.ScheduleRead(req.Addr, ready)
+	req.AMBHit = hit
+	c.Stats.Reads++
+	if hit {
+		c.Stats.AMBHits++
+	}
+	ch := c.mapper.Map(req.Addr).Channel
+	c.inflight[ch]++
+	heap.Push(&c.completions, completion{at: dataAt, req: req, ch: ch})
+}
+
+func (c *Controller) startWrites(batch []*memreq.Request, model channelModel) {
+	ready := batch[0].Arrived + c.cfg.CtrlOverhead
+	addrs := make([]int64, len(batch))
+	for i, req := range batch {
+		addrs[i] = req.Addr
+	}
+	doneAt := model.ScheduleWrite(addrs, ready)
+	c.Stats.Writes += int64(len(batch))
+	ch := c.mapper.Map(batch[0].Addr).Channel
+	for _, req := range batch {
+		c.inflight[ch]++
+		heap.Push(&c.completions, completion{at: doneAt, req: req, ch: ch})
+	}
+}
+
+// DRAMCounters sums the DRAM operation counters across all channels.
+func (c *Controller) DRAMCounters() dram.Counters {
+	var sum dram.Counters
+	for _, f := range c.fbd {
+		sum.Add(f.Counters)
+	}
+	for _, d := range c.ddr {
+		sum.Add(d.Counters)
+	}
+	return sum
+}
+
+// LinkBytes sums channel traffic (read bytes, write bytes) across channels.
+func (c *Controller) LinkBytes() (north, south int64) {
+	for _, f := range c.fbd {
+		north += f.Links.BytesNorth
+		south += f.Links.BytesSouth
+	}
+	for _, d := range c.ddr {
+		north += d.Links.BytesNorth
+		south += d.Links.BytesSouth
+	}
+	return north, south
+}
+
+// BankConflicts sums delayed activations across all channels.
+func (c *Controller) BankConflicts() int64 {
+	var n int64
+	for _, f := range c.fbd {
+		n += f.BankConflicts
+	}
+	for _, d := range c.ddr {
+		n += d.BankConflicts
+	}
+	return n
+}
+
+// LinkBusy sums the cumulative link occupancy across channels: the read
+// path (northbound / DDR2 data bus) and the write/command path.
+func (c *Controller) LinkBusy() (north, south clock.Time) {
+	for _, f := range c.fbd {
+		n, s := f.LinkBusy()
+		north += n
+		south += s
+	}
+	for _, d := range c.ddr {
+		n, s := d.LinkBusy()
+		north += n
+		south += s
+	}
+	return north, south
+}
+
+// AMBStats aggregates prefetch statistics across every AMB cache in the
+// system (zero when prefetching is off or the system is DDR2).
+func (c *Controller) AMBStats() ambcache.Stats {
+	var s ambcache.Stats
+	for _, f := range c.fbd {
+		s.Add(f.AMBStats())
+	}
+	return s
+}
+
+// completion orders issued transactions by finish time.
+type completion struct {
+	at  clock.Time
+	req *memreq.Request
+	ch  int
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int            { return len(h) }
+func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,24 @@
+package memreq
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Errorf("kind strings: %q %q", Read.String(), Write.String())
+	}
+}
+
+func TestRequestCallbackPlumbing(t *testing.T) {
+	fired := 0
+	r := &Request{ID: 7, Addr: 128, Kind: Read}
+	r.OnDone = func(q *Request) {
+		if q != r {
+			t.Error("callback received a different request")
+		}
+		fired++
+	}
+	r.OnDone(r)
+	if fired != 1 {
+		t.Errorf("callback fired %d times", fired)
+	}
+}

@@ -1,0 +1,56 @@
+// Package power estimates DRAM dynamic power the way Section 5.5 does:
+// count activate/precharge pairs and column accesses from the simulator,
+// then weight them with the ratio obtained from the Micron DDR2
+// system-power calculator — roughly 4:1 between one ACT/PRE pair and one
+// column access at 70% bandwidth utilization under close-page mode.
+// Absolute watts are never needed; every figure is a ratio between two
+// configurations of the same run length.
+package power
+
+import "fbdsim/internal/dram"
+
+// Weights holds the relative energy of the counted DRAM events.
+type Weights struct {
+	// ACTPREPair is the energy of one activation plus its precharge,
+	// in units of one column access.
+	ACTPREPair float64
+	// ColumnAccess is the unit energy of one column (read or write)
+	// access.
+	ColumnAccess float64
+}
+
+// PaperWeights is the 4:1 calibration of Section 5.5.
+func PaperWeights() Weights { return Weights{ACTPREPair: 4, ColumnAccess: 1} }
+
+// StaticFraction is the share of total DRAM power that is static for the
+// paper's configuration (the dynamic estimate excludes it, as the paper
+// notes).
+const StaticFraction = 0.175
+
+// Dynamic returns the dynamic energy of the counted events in
+// column-access units. Activations and precharges come in pairs under
+// close-page auto-precharge; when the counts differ (open-page runs may end
+// with rows open), the pair count is the larger of the two so no event is
+// dropped.
+func Dynamic(c dram.Counters, w Weights) float64 {
+	pairs := c.ACT
+	if c.PRE > pairs {
+		pairs = c.PRE
+	}
+	return float64(pairs)*w.ACTPREPair + float64(c.Columns())*w.ColumnAccess
+}
+
+// Ratio returns Dynamic(test)/Dynamic(base) — the normalized power of
+// Figure 13 (values below 1.0 are savings).
+func Ratio(test, base dram.Counters, w Weights) float64 {
+	b := Dynamic(base, w)
+	if b == 0 {
+		return 0
+	}
+	return Dynamic(test, w) / b
+}
+
+// Saving returns 1 - Ratio: the fraction of dynamic DRAM power saved.
+func Saving(test, base dram.Counters, w Weights) float64 {
+	return 1 - Ratio(test, base, w)
+}

@@ -1,0 +1,95 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fbdsim/internal/dram"
+)
+
+func TestDynamicWeighting(t *testing.T) {
+	w := PaperWeights()
+	if w.ACTPREPair != 4 || w.ColumnAccess != 1 {
+		t.Fatalf("paper weights = %+v, want 4:1", w)
+	}
+	c := dram.Counters{ACT: 10, PRE: 10, ColRead: 7, ColWrit: 3}
+	if got := Dynamic(c, w); got != 4*10+10 {
+		t.Errorf("Dynamic = %g, want 50", got)
+	}
+}
+
+func TestDynamicUsesLargerOfACTPRE(t *testing.T) {
+	w := PaperWeights()
+	// Open-page run ended with rows open: more ACTs than PREs.
+	c := dram.Counters{ACT: 12, PRE: 10, ColRead: 0}
+	if got := Dynamic(c, w); got != 48 {
+		t.Errorf("Dynamic = %g, want 48 (12 pairs)", got)
+	}
+	c = dram.Counters{ACT: 10, PRE: 12}
+	if got := Dynamic(c, w); got != 48 {
+		t.Errorf("Dynamic = %g, want 48", got)
+	}
+}
+
+func TestRatioAndSaving(t *testing.T) {
+	w := PaperWeights()
+	base := dram.Counters{ACT: 100, PRE: 100, ColRead: 100}
+	// The paper's four-cacheline trade-off: fewer ACTs, more columns.
+	ap := dram.Counters{ACT: 60, PRE: 60, ColRead: 140}
+	ratio := Ratio(ap, base, w)
+	want := (4.0*60 + 140) / (4.0*100 + 100)
+	if ratio != want {
+		t.Errorf("ratio = %g, want %g", ratio, want)
+	}
+	if got := Saving(ap, base, w); got != 1-want {
+		t.Errorf("saving = %g", got)
+	}
+}
+
+func TestRatioZeroBase(t *testing.T) {
+	if got := Ratio(dram.Counters{ACT: 1}, dram.Counters{}, PaperWeights()); got != 0 {
+		t.Errorf("zero base ratio = %g", got)
+	}
+}
+
+func TestStaticFraction(t *testing.T) {
+	if StaticFraction != 0.175 {
+		t.Errorf("static fraction = %g, want 17.5%%", StaticFraction)
+	}
+}
+
+// TestMoreWorkNeverCheaper: adding DRAM events can only increase dynamic
+// energy (monotonicity property).
+func TestMoreWorkNeverCheaper(t *testing.T) {
+	w := PaperWeights()
+	f := func(act, col, dAct, dCol uint16) bool {
+		base := dram.Counters{ACT: int64(act), PRE: int64(act), ColRead: int64(col)}
+		more := dram.Counters{ACT: int64(act) + int64(dAct), PRE: int64(act) + int64(dAct),
+			ColRead: int64(col) + int64(dCol)}
+		return Dynamic(more, w) >= Dynamic(base, w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPaperTradeoffDirection: replacing K single-line accesses (K ACT
+// pairs + K columns) with one group fetch (1 ACT pair + K columns) always
+// saves energy under the 4:1 weighting — the mechanism behind Figure 13's
+// savings; waste only appears when extra unused columns exceed 4 per saved
+// pair.
+func TestPaperTradeoffDirection(t *testing.T) {
+	w := PaperWeights()
+	k := int64(4)
+	separate := dram.Counters{ACT: k, PRE: k, ColRead: k}
+	grouped := dram.Counters{ACT: 1, PRE: 1, ColRead: k}
+	if Dynamic(grouped, w) >= Dynamic(separate, w) {
+		t.Error("group fetch must be cheaper when all lines are used")
+	}
+	// Break-even: 1 pair saved (4 units) buys at most 4 wasted columns.
+	wasted := dram.Counters{ACT: 1, PRE: 1, ColRead: 1 + 4}
+	single := dram.Counters{ACT: 2, PRE: 2, ColRead: 1}
+	if Dynamic(wasted, w) != Dynamic(single, w) {
+		t.Errorf("break-even mismatch: %g vs %g", Dynamic(wasted, w), Dynamic(single, w))
+	}
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"fbdsim/internal/clock"
+)
+
+const ns = clock.Nanosecond
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	if h.String() != "empty" {
+		t.Errorf("String = %q", h.String())
+	}
+	if !strings.Contains(h.Render(40), "no observations") {
+		t.Error("Render of empty histogram")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	var h Histogram
+	for _, v := range []clock.Time{10 * ns, 20 * ns, 30 * ns} {
+		h.Observe(v)
+	}
+	if h.Mean() != 20*ns {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10*ns || h.Max() != 30*ns {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Count() != 3 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	// 1..1000 ns uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(clock.Time(i) * ns)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want clock.Time
+	}{
+		{0.50, 500 * ns},
+		{0.90, 900 * ns},
+		{0.99, 990 * ns},
+	} {
+		got := h.Percentile(tc.p)
+		lo := float64(tc.want) * 0.85
+		hi := float64(tc.want) * 1.01
+		if float64(got) < lo || float64(got) > hi {
+			t.Errorf("p%.0f = %v, want within 15%% below %v", tc.p*100, got, tc.want)
+		}
+	}
+	if h.Percentile(0) != h.Min() || h.Percentile(1) != h.Max() {
+		t.Error("extreme percentiles must clamp to min/max")
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	// bucketLow(bucketOf(v)) <= v for all v, and bucketOf(bucketLow(i)) == i.
+	for i := 0; i < maxBuckets; i++ {
+		lo := bucketLow(i)
+		if got := bucketOf(lo); got != i {
+			t.Fatalf("bucket %d: low %d maps to %d", i, lo, got)
+		}
+	}
+	f := func(raw uint32) bool {
+		v := clock.Time(raw)
+		return bucketLow(bucketOf(v)) <= v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeObservationsClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * ns)
+	if h.Count() != 1 || h.Min() != 0 {
+		t.Errorf("negative observation handling: %+v", h)
+	}
+}
+
+func TestSubSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * ns)
+	h.Observe(200 * ns)
+	snap := h.Clone()
+	h.Observe(300 * ns)
+	h.Observe(400 * ns)
+	d := h.Sub(snap)
+	if d.Count() != 2 {
+		t.Fatalf("delta count = %d", d.Count())
+	}
+	if d.Mean() != 350*ns {
+		t.Errorf("delta mean = %v, want 350ns", d.Mean())
+	}
+}
+
+func TestSubMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sub with a non-snapshot must panic")
+		}
+	}()
+	var a, b Histogram
+	b.Observe(10 * ns)
+	a.Sub(&b)
+}
+
+func TestRender(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		h.Observe(clock.Time(60+rng.Intn(300)) * ns)
+	}
+	out := h.Render(40)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "ns") {
+		t.Errorf("Render output malformed:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines > 17 {
+		t.Errorf("Render produced %d rows, want <= 16", lines)
+	}
+}
+
+// TestPercentileMonotonic is a property: percentiles never decrease in p.
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		for i := 0; i < 300; i++ {
+			h.Observe(clock.Time(rng.Intn(1_000_000)))
+		}
+		prev := clock.Time(-1)
+		for p := 0.05; p <= 1.0; p += 0.05 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Observe(v)
+	}
+	if s.Count() != 4 || s.Mean() != 2.5 || s.Min() != 1 || s.Max() != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	var empty Summary
+	if empty.Mean() != 0 {
+		t.Error("empty summary mean")
+	}
+}

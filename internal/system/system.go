@@ -1,0 +1,327 @@
+// Package system wires cores, cache hierarchy and memory controller into a
+// complete simulated machine and runs it to an instruction budget. It is
+// the execution engine behind every experiment: build a System from a
+// Config and a benchmark list, call Run, read the Results.
+package system
+
+import (
+	"fmt"
+
+	"fbdsim/internal/ambcache"
+	"fbdsim/internal/clock"
+	"fbdsim/internal/config"
+	"fbdsim/internal/cpu"
+	"fbdsim/internal/dram"
+	"fbdsim/internal/memctrl"
+	"fbdsim/internal/stats"
+	"fbdsim/internal/trace"
+)
+
+// Results summarizes one simulation run (post-warmup deltas only).
+type Results struct {
+	Benchmarks []string
+	Cores      int
+
+	// IPC per core, in benchmark order.
+	IPC []float64
+	// Committed instructions per core.
+	Committed []int64
+	// Cycles is the measured CPU-cycle count.
+	Cycles int64
+
+	// Memory subsystem measurements.
+	Reads            int64
+	Writes           int64
+	AMBHits          int64
+	AvgReadLatencyNS float64
+	// Read-latency distribution over the measured window.
+	P50LatencyNS float64
+	P90LatencyNS float64
+	P99LatencyNS float64
+	MaxLatencyNS float64
+	// LatencyHist is the full post-warmup distribution (nil only for
+	// zero-read runs).
+	LatencyHist *stats.Histogram
+	// UtilizedBandwidthGBs is total channel traffic divided by wall time —
+	// the metric of Figures 5 and 10.
+	UtilizedBandwidthGBs float64
+	// BankConflicts counts activations delayed by bank-level timing —
+	// the inefficiency Section 5.2 argues AMB prefetching reduces.
+	BankConflicts int64
+	// ReadLinkUtilization / WriteLinkUtilization are the busy fractions of
+	// the read path (northbound / DDR2 data bus) and the write/command
+	// path, averaged over channels.
+	ReadLinkUtilization  float64
+	WriteLinkUtilization float64
+
+	DRAM dram.Counters
+	AMB  ambcache.Stats
+
+	// L2 behaviour.
+	L2Accesses   int64
+	L2Misses     int64
+	DemandMisses int64
+	SWPrefetches int64
+	HWPrefetches int64
+	Writebacks   int64
+}
+
+// L2MissRate returns L2 misses per access.
+func (r Results) L2MissRate() float64 {
+	if r.L2Accesses == 0 {
+		return 0
+	}
+	return float64(r.L2Misses) / float64(r.L2Accesses)
+}
+
+// TotalIPC returns the sum of per-core IPCs.
+func (r Results) TotalIPC() float64 {
+	sum := 0.0
+	for _, v := range r.IPC {
+		sum += v
+	}
+	return sum
+}
+
+// snapshot captures every cumulative counter at the warmup boundary.
+type snapshot struct {
+	cycle      int64
+	committed  []int64
+	hist       *stats.Histogram
+	ctrl       memctrl.Stats
+	dram       dram.Counters
+	amb        ambcache.Stats
+	north      int64
+	south      int64
+	conflicts  int64
+	northBusy  clock.Time
+	southBusy  clock.Time
+	l2Acc      int64
+	l2Miss     int64
+	demand     int64
+	swPrefetch int64
+	hwPrefetch int64
+	writebacks int64
+}
+
+// System is one fully-wired simulated machine.
+type System struct {
+	cfg   config.Config
+	names []string
+	ctrl  *memctrl.Controller
+	hier  *cpu.Hierarchy
+	cores []*cpu.Core
+	ratio int64
+}
+
+// New builds a system running one benchmark per core. The Config's
+// CPU.Cores is overridden by len(benchmarks).
+func New(cfg config.Config, benchmarks []string) (*System, error) {
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("system: no benchmarks given")
+	}
+	cfg.CPU.Cores = len(benchmarks)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctrl := memctrl.New(&cfg.Mem)
+	hier := cpu.NewHierarchy(&cfg.CPU, cfg.CPU.Cores, ctrl)
+	// Start from a steady-state L2 so short runs produce representative
+	// eviction/writeback traffic (see PrewarmL2). The dirty fraction
+	// approximates the steady-state share of written-to lines: about one
+	// in three streams is a store stream, and stores also dirty part of
+	// the hot set.
+	hier.PrewarmL2(0.35)
+	s := &System{
+		cfg:   cfg,
+		names: append([]string(nil), benchmarks...),
+		ctrl:  ctrl,
+		hier:  hier,
+		ratio: int64(clock.CPUCyclesPerTCK(cfg.Mem.DataRate)),
+	}
+	for i, name := range benchmarks {
+		p, err := trace.ProfileFor(name)
+		if err != nil {
+			return nil, err
+		}
+		gen := trace.NewSynthetic(p, i, cfg.Seed)
+		s.cores = append(s.cores, cpu.NewCore(&s.cfg.CPU, i, gen, hier))
+	}
+	return s, nil
+}
+
+// Controller exposes the memory controller (tests and experiments).
+func (s *System) Controller() *memctrl.Controller { return s.ctrl }
+
+// Hierarchy exposes the cache hierarchy (tests and experiments).
+func (s *System) Hierarchy() *cpu.Hierarchy { return s.hier }
+
+// Run executes warmup then measurement and returns the measured Results.
+// It errors out if the machine stops making progress (a model bug guard).
+func (s *System) Run() (Results, error) {
+	var (
+		cycle    int64
+		warm     *snapshot
+		interval = int64(1024)
+	)
+	// Generous progress bound: if the slowest plausible IPC (~0.02/core)
+	// cannot explain the cycle count, something is wedged.
+	budget := s.cfg.WarmupInsts + s.cfg.MaxInsts
+	maxCycles := budget*500 + 1_000_000
+
+	for {
+		now := clock.Time(cycle) * clock.CPUCycle
+		if cycle%s.ratio == 0 {
+			s.ctrl.Tick(now)
+		}
+		s.hier.Tick(cycle, now)
+		for _, c := range s.cores {
+			c.Tick(cycle)
+		}
+		cycle++
+
+		if cycle%interval != 0 {
+			continue
+		}
+		if warm == nil {
+			if s.minCommitted() >= s.cfg.WarmupInsts {
+				snap := s.snapshot(cycle)
+				warm = &snap
+			}
+		} else if s.maxDelta(warm) >= s.cfg.MaxInsts {
+			return s.results(warm, cycle), nil
+		}
+		if cycle > maxCycles {
+			return Results{}, fmt.Errorf("system: no progress after %d cycles (committed %v)",
+				cycle, s.committedNow())
+		}
+	}
+}
+
+func (s *System) committedNow() []int64 {
+	out := make([]int64, len(s.cores))
+	for i, c := range s.cores {
+		out[i] = c.Committed
+	}
+	return out
+}
+
+func (s *System) minCommitted() int64 {
+	min := s.cores[0].Committed
+	for _, c := range s.cores[1:] {
+		if c.Committed < min {
+			min = c.Committed
+		}
+	}
+	return min
+}
+
+func (s *System) maxDelta(w *snapshot) int64 {
+	var max int64
+	for i, c := range s.cores {
+		if d := c.Committed - w.committed[i]; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func (s *System) snapshot(cycle int64) snapshot {
+	north, south := s.ctrl.LinkBytes()
+	nBusy, sBusy := s.ctrl.LinkBusy()
+	l2 := s.hier.L2().Stats
+	return snapshot{
+		cycle:      cycle,
+		committed:  s.committedNow(),
+		hist:       s.ctrl.LatHist.Clone(),
+		ctrl:       s.ctrl.Stats,
+		dram:       s.ctrl.DRAMCounters(),
+		amb:        s.ctrl.AMBStats(),
+		north:      north,
+		south:      south,
+		conflicts:  s.ctrl.BankConflicts(),
+		northBusy:  nBusy,
+		southBusy:  sBusy,
+		l2Acc:      l2.Accesses,
+		l2Miss:     l2.Misses,
+		demand:     s.hier.DemandMisses,
+		swPrefetch: s.hier.SWPrefetches,
+		hwPrefetch: s.hier.HWPrefetches,
+		writebacks: s.hier.WBCount,
+	}
+}
+
+func (s *System) results(w *snapshot, cycle int64) Results {
+	end := s.snapshot(cycle)
+	dc := cycle - w.cycle
+	r := Results{
+		Benchmarks: s.names,
+		Cores:      len(s.cores),
+		Cycles:     dc,
+		IPC:        make([]float64, len(s.cores)),
+		Committed:  make([]int64, len(s.cores)),
+	}
+	for i := range s.cores {
+		r.Committed[i] = end.committed[i] - w.committed[i]
+		r.IPC[i] = float64(r.Committed[i]) / float64(dc)
+	}
+
+	r.Reads = end.ctrl.Reads - w.ctrl.Reads
+	r.Writes = end.ctrl.Writes - w.ctrl.Writes
+	r.AMBHits = end.ctrl.AMBHits - w.ctrl.AMBHits
+	lat := end.ctrl.ReadLatency - w.ctrl.ReadLatency
+	done := end.ctrl.ReadsDone - w.ctrl.ReadsDone
+	if done > 0 {
+		r.AvgReadLatencyNS = lat.Nanoseconds() / float64(done)
+	}
+	hist := s.ctrl.LatHist.Sub(w.hist)
+	r.LatencyHist = hist
+	if hist.Count() > 0 {
+		r.P50LatencyNS = hist.Percentile(0.50).Nanoseconds()
+		r.P90LatencyNS = hist.Percentile(0.90).Nanoseconds()
+		r.P99LatencyNS = hist.Percentile(0.99).Nanoseconds()
+		r.MaxLatencyNS = hist.Max().Nanoseconds()
+	}
+
+	bytes := (end.north - w.north) + (end.south - w.south)
+	seconds := float64(dc) * float64(clock.CPUCycle) * 1e-12
+	if seconds > 0 {
+		r.UtilizedBandwidthGBs = float64(bytes) / seconds / 1e9
+	}
+	r.BankConflicts = end.conflicts - w.conflicts
+	if wall := clock.Time(dc) * clock.CPUCycle; wall > 0 {
+		chans := float64(s.cfg.Mem.LogicalChannels)
+		r.ReadLinkUtilization = float64(end.northBusy-w.northBusy) / float64(wall) / chans
+		r.WriteLinkUtilization = float64(end.southBusy-w.southBusy) / float64(wall) / chans
+	}
+
+	r.DRAM = dram.Counters{
+		ACT:     end.dram.ACT - w.dram.ACT,
+		PRE:     end.dram.PRE - w.dram.PRE,
+		ColRead: end.dram.ColRead - w.dram.ColRead,
+		ColWrit: end.dram.ColWrit - w.dram.ColWrit,
+	}
+	r.AMB = ambcache.Stats{
+		Reads:         end.amb.Reads - w.amb.Reads,
+		Hits:          end.amb.Hits - w.amb.Hits,
+		Prefetched:    end.amb.Prefetched - w.amb.Prefetched,
+		Evictions:     end.amb.Evictions - w.amb.Evictions,
+		Invalidations: end.amb.Invalidations - w.amb.Invalidations,
+	}
+	r.L2Accesses = end.l2Acc - w.l2Acc
+	r.L2Misses = end.l2Miss - w.l2Miss
+	r.DemandMisses = end.demand - w.demand
+	r.SWPrefetches = end.swPrefetch - w.swPrefetch
+	r.HWPrefetches = end.hwPrefetch - w.hwPrefetch
+	r.Writebacks = end.writebacks - w.writebacks
+	return r
+}
+
+// RunWorkload is a convenience: build and run in one call.
+func RunWorkload(cfg config.Config, benchmarks []string) (Results, error) {
+	s, err := New(cfg, benchmarks)
+	if err != nil {
+		return Results{}, err
+	}
+	return s.Run()
+}

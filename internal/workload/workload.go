@@ -1,0 +1,133 @@
+// Package workload defines the multiprogrammed workload mixes of Table 3
+// and the SMT-speedup metric of Section 4.2.
+package workload
+
+import (
+	"fmt"
+
+	"fbdsim/internal/trace"
+)
+
+// Workload is one named mix of benchmarks, one per core.
+type Workload struct {
+	Name       string
+	Benchmarks []string
+}
+
+// Cores returns the core count of the mix.
+func (w Workload) Cores() int { return len(w.Benchmarks) }
+
+func (w Workload) String() string {
+	return fmt.Sprintf("%s%v", w.Name, w.Benchmarks)
+}
+
+// SingleCore returns the twelve single-program workloads used as the
+// single-core group (and as the reference points for SMT speedup).
+func SingleCore() []Workload {
+	names := trace.BenchmarkNames()
+	out := make([]Workload, len(names))
+	for i, n := range names {
+		out[i] = Workload{Name: "1C-" + n, Benchmarks: []string{n}}
+	}
+	return out
+}
+
+// Table3 returns the 2-, 4- and 8-core mixes exactly as Table 3 lists them.
+func Table3() []Workload {
+	return []Workload{
+		{Name: "2C-1", Benchmarks: []string{"wupwise", "swim"}},
+		{Name: "2C-2", Benchmarks: []string{"mgrid", "applu"}},
+		{Name: "2C-3", Benchmarks: []string{"vpr", "equake"}},
+		{Name: "2C-4", Benchmarks: []string{"facerec", "lucas"}},
+		{Name: "2C-5", Benchmarks: []string{"fma3d", "parser"}},
+		{Name: "2C-6", Benchmarks: []string{"gap", "vortex"}},
+		{Name: "4C-1", Benchmarks: []string{"wupwise", "swim", "mgrid", "applu"}},
+		{Name: "4C-2", Benchmarks: []string{"vpr", "equake", "facerec", "lucas"}},
+		{Name: "4C-3", Benchmarks: []string{"fma3d", "parser", "gap", "vortex"}},
+		{Name: "4C-4", Benchmarks: []string{"wupwise", "mgrid", "vpr", "facerec"}},
+		{Name: "4C-5", Benchmarks: []string{"fma3d", "gap", "swim", "applu"}},
+		{Name: "4C-6", Benchmarks: []string{"equake", "lucas", "parser", "vortex"}},
+		{Name: "8C-1", Benchmarks: []string{"wupwise", "swim", "mgrid", "applu", "vpr", "equake", "facerec", "lucas"}},
+		{Name: "8C-2", Benchmarks: []string{"wupwise", "swim", "mgrid", "applu", "fma3d", "parser", "gap", "vortex"}},
+		{Name: "8C-3", Benchmarks: []string{"vpr", "equake", "facerec", "lucas", "fma3d", "parser", "gap", "vortex"}},
+	}
+}
+
+// All returns single-core, 2-, 4- and 8-core workloads in presentation
+// order.
+func All() []Workload {
+	return append(SingleCore(), Table3()...)
+}
+
+// ByCores filters ws to mixes with exactly n cores.
+func ByCores(ws []Workload, n int) []Workload {
+	var out []Workload
+	for _, w := range ws {
+		if w.Cores() == n {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Lookup finds a workload by name across All().
+func Lookup(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Random constructs an n-core workload by sampling benchmarks without
+// replacement (falling back to with-replacement beyond twelve cores), the
+// way Section 4.2 built Table 3 ("we construct the multiprogramming
+// workloads randomly from these selected applications"). The same seed
+// always yields the same mix.
+func Random(n int, seed int64) Workload {
+	if n < 1 {
+		panic("workload: need at least one core")
+	}
+	names := trace.BenchmarkNames()
+	// SplitMix64, matching the trace package's generator.
+	state := uint64(seed)*0x9E3779B97F4A7C15 + 0x1234567
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	pool := append([]string(nil), names...)
+	mix := make([]string, 0, n)
+	for len(mix) < n {
+		if len(pool) == 0 {
+			pool = append(pool, names...)
+		}
+		i := int(next() % uint64(len(pool)))
+		mix = append(mix, pool[i])
+		pool = append(pool[:i], pool[i+1:]...)
+	}
+	return Workload{Name: fmt.Sprintf("%dC-rand%d", n, seed), Benchmarks: mix}
+}
+
+// SMTSpeedup computes the Section 4.2 metric:
+//
+//	speedup = Σ_i IPC_cmp[i] / IPC_single[i]
+//
+// where IPC_single[i] is the same program's IPC alone on the reference
+// system. The two slices are matched by index.
+func SMTSpeedup(ipcCMP, ipcSingle []float64) float64 {
+	if len(ipcCMP) != len(ipcSingle) {
+		panic(fmt.Sprintf("workload: IPC slice length mismatch %d vs %d", len(ipcCMP), len(ipcSingle)))
+	}
+	sum := 0.0
+	for i := range ipcCMP {
+		if ipcSingle[i] <= 0 {
+			panic("workload: non-positive reference IPC")
+		}
+		sum += ipcCMP[i] / ipcSingle[i]
+	}
+	return sum
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"fbdsim/internal/trace"
+)
+
+// TestTable3Workloads pins the exact mixes of Table 3.
+func TestTable3Workloads(t *testing.T) {
+	want := map[string][]string{
+		"2C-1": {"wupwise", "swim"},
+		"2C-2": {"mgrid", "applu"},
+		"2C-3": {"vpr", "equake"},
+		"2C-4": {"facerec", "lucas"},
+		"2C-5": {"fma3d", "parser"},
+		"2C-6": {"gap", "vortex"},
+		"4C-1": {"wupwise", "swim", "mgrid", "applu"},
+		"4C-2": {"vpr", "equake", "facerec", "lucas"},
+		"4C-3": {"fma3d", "parser", "gap", "vortex"},
+		"4C-4": {"wupwise", "mgrid", "vpr", "facerec"},
+		"4C-5": {"fma3d", "gap", "swim", "applu"},
+		"4C-6": {"equake", "lucas", "parser", "vortex"},
+		"8C-1": {"wupwise", "swim", "mgrid", "applu", "vpr", "equake", "facerec", "lucas"},
+		"8C-2": {"wupwise", "swim", "mgrid", "applu", "fma3d", "parser", "gap", "vortex"},
+		"8C-3": {"vpr", "equake", "facerec", "lucas", "fma3d", "parser", "gap", "vortex"},
+	}
+	got := Table3()
+	if len(got) != len(want) {
+		t.Fatalf("Table 3 has %d workloads, want %d", len(got), len(want))
+	}
+	for _, w := range got {
+		exp, ok := want[w.Name]
+		if !ok {
+			t.Errorf("unexpected workload %q", w.Name)
+			continue
+		}
+		if !reflect.DeepEqual(w.Benchmarks, exp) {
+			t.Errorf("%s = %v, want %v", w.Name, w.Benchmarks, exp)
+		}
+	}
+}
+
+func TestEveryBenchmarkHasAProfile(t *testing.T) {
+	for _, w := range All() {
+		for _, b := range w.Benchmarks {
+			if _, err := trace.ProfileFor(b); err != nil {
+				t.Errorf("%s: %v", w.Name, err)
+			}
+		}
+	}
+}
+
+func TestSingleCore(t *testing.T) {
+	ws := SingleCore()
+	if len(ws) != 12 {
+		t.Fatalf("single-core workloads = %d, want 12", len(ws))
+	}
+	for _, w := range ws {
+		if w.Cores() != 1 {
+			t.Errorf("%s has %d cores", w.Name, w.Cores())
+		}
+	}
+}
+
+func TestByCores(t *testing.T) {
+	all := All()
+	if got := len(ByCores(all, 1)); got != 12 {
+		t.Errorf("1-core count = %d", got)
+	}
+	if got := len(ByCores(all, 2)); got != 6 {
+		t.Errorf("2-core count = %d", got)
+	}
+	if got := len(ByCores(all, 4)); got != 6 {
+		t.Errorf("4-core count = %d", got)
+	}
+	if got := len(ByCores(all, 8)); got != 3 {
+		t.Errorf("8-core count = %d", got)
+	}
+	if got := len(ByCores(all, 16)); got != 0 {
+		t.Errorf("16-core count = %d", got)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	w, err := Lookup("4C-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Cores() != 4 || w.Benchmarks[2] != "swim" {
+		t.Errorf("4C-5 = %v", w)
+	}
+	if _, err := Lookup("16C-1"); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestSMTSpeedup(t *testing.T) {
+	// Two programs at half their solo IPC: speedup 1.0 (throughput equal
+	// to one dedicated machine).
+	got := SMTSpeedup([]float64{0.5, 1.0}, []float64{1.0, 2.0})
+	if got != 1.0 {
+		t.Errorf("speedup = %g, want 1.0", got)
+	}
+	// Solo: trivially 1.0.
+	if got := SMTSpeedup([]float64{2.0}, []float64{2.0}); got != 1.0 {
+		t.Errorf("solo speedup = %g", got)
+	}
+}
+
+func TestSMTSpeedupPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { SMTSpeedup([]float64{1}, []float64{1, 2}) },
+		func() { SMTSpeedup([]float64{1}, []float64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWorkloadString(t *testing.T) {
+	w := Workload{Name: "2C-1", Benchmarks: []string{"a", "b"}}
+	if w.String() != "2C-1[a b]" {
+		t.Errorf("String = %q", w.String())
+	}
+}
+
+func TestRandomWorkload(t *testing.T) {
+	a := Random(4, 9)
+	b := Random(4, 9)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Random must be deterministic per seed")
+	}
+	c := Random(4, 10)
+	if reflect.DeepEqual(a.Benchmarks, c.Benchmarks) {
+		t.Error("different seeds should usually differ")
+	}
+	// No duplicates below twelve cores.
+	seen := map[string]bool{}
+	for _, bm := range a.Benchmarks {
+		if seen[bm] {
+			t.Errorf("duplicate %q in 4-core random mix", bm)
+		}
+		seen[bm] = true
+		if _, err := trace.ProfileFor(bm); err != nil {
+			t.Errorf("invalid benchmark %q", bm)
+		}
+	}
+	// Oversized mixes recycle the pool.
+	big := Random(16, 3)
+	if big.Cores() != 16 {
+		t.Errorf("16-core mix has %d cores", big.Cores())
+	}
+}
+
+func TestRandomWorkloadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Random(0, 1)
+}
