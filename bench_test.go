@@ -43,6 +43,15 @@ func benchRunner() *exp.Runner {
 	return benchRunnerVal
 }
 
+// skipIfShort guards the simulation-heavy benchmarks so a `-short` CI run
+// (which compiles and smoke-runs benchmarks with -bench) stays fast.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("simulation-heavy benchmark; skipped in -short")
+	}
+}
+
 // BenchmarkTable1Config exercises the Table 1 configuration path:
 // construction plus validation of every preset.
 func BenchmarkTable1Config(b *testing.B) {
@@ -105,6 +114,7 @@ func BenchmarkV1IdleLatency(b *testing.B) {
 
 // BenchmarkFigure4 regenerates the DDR2-vs-FB-DIMM comparison.
 func BenchmarkFigure4(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.Figure4(r)
@@ -122,6 +132,7 @@ func BenchmarkFigure4(b *testing.B) {
 
 // BenchmarkFigure5 regenerates the bandwidth/latency scatter.
 func BenchmarkFigure5(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.Figure5(r)
@@ -135,6 +146,7 @@ func BenchmarkFigure5(b *testing.B) {
 
 // BenchmarkFigure6 regenerates the data-rate / channel-count sweep.
 func BenchmarkFigure6(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.Figure6(r)
@@ -161,6 +173,7 @@ func BenchmarkFigure6(b *testing.B) {
 
 // BenchmarkFigure7 regenerates the headline AMB-prefetching speedups.
 func BenchmarkFigure7(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.Figure7(r)
@@ -177,6 +190,7 @@ func BenchmarkFigure7(b *testing.B) {
 
 // BenchmarkFigure8 regenerates prefetch coverage and efficiency.
 func BenchmarkFigure8(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.Figure8(r)
@@ -194,6 +208,7 @@ func BenchmarkFigure8(b *testing.B) {
 
 // BenchmarkFigure9 regenerates the gain decomposition.
 func BenchmarkFigure9(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.Figure9(r)
@@ -211,6 +226,7 @@ func BenchmarkFigure9(b *testing.B) {
 
 // BenchmarkFigure10 regenerates the FBD vs FBD-AP bandwidth/latency pairs.
 func BenchmarkFigure10(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.Figure10(r)
@@ -230,6 +246,7 @@ func BenchmarkFigure10(b *testing.B) {
 
 // BenchmarkFigure11 regenerates the sensitivity sweep.
 func BenchmarkFigure11(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.Figure11(r)
@@ -246,6 +263,7 @@ func BenchmarkFigure11(b *testing.B) {
 
 // BenchmarkFigure12 regenerates the AP/SP complementarity comparison.
 func BenchmarkFigure12(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.Figure12(r)
@@ -264,6 +282,7 @@ func BenchmarkFigure12(b *testing.B) {
 
 // BenchmarkFigure13 regenerates the power study.
 func BenchmarkFigure13(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.Figure13(r)
@@ -299,6 +318,7 @@ var ablationMix = []string{"wupwise", "swim", "mgrid", "applu"}
 // BenchmarkAblationInterleaving compares the multi-cacheline interleaving
 // the design requires against page-interleaved AP (the Figure 2 variants).
 func BenchmarkAblationInterleaving(b *testing.B) {
+	skipIfShort(b)
 	multi := WithAMBPrefetch(Default())
 	page := WithAMBPrefetch(Default())
 	page.Mem.Interleave = PageInterleave
@@ -314,6 +334,7 @@ func BenchmarkAblationInterleaving(b *testing.B) {
 // BenchmarkAblationReplacement compares FIFO (the paper's choice) against
 // LRU for the AMB cache.
 func BenchmarkAblationReplacement(b *testing.B) {
+	skipIfShort(b)
 	fifo := WithAMBPrefetch(Default())
 	lru := WithAMBPrefetch(Default())
 	lru.Mem.AMBReplacement = LRU
@@ -328,6 +349,7 @@ func BenchmarkAblationReplacement(b *testing.B) {
 // BenchmarkAblationVRL checks the paper's claim that variable read latency
 // barely changes the AP gain.
 func BenchmarkAblationVRL(b *testing.B) {
+	skipIfShort(b)
 	off := WithAMBPrefetch(Default())
 	on := WithAMBPrefetch(Default())
 	on.Mem.VRL = true
@@ -342,6 +364,7 @@ func BenchmarkAblationVRL(b *testing.B) {
 // BenchmarkAblationWritePolicy compares invalidate-on-write (the design)
 // against the write-update alternative.
 func BenchmarkAblationWritePolicy(b *testing.B) {
+	skipIfShort(b)
 	inv := WithAMBPrefetch(Default())
 	upd := WithAMBPrefetch(Default())
 	upd.Mem.AMBWriteUpdate = true
@@ -356,6 +379,7 @@ func BenchmarkAblationWritePolicy(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw engine speed: simulated
 // instructions per wall-clock second on the default 4-core configuration.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	skipIfShort(b)
 	cfg := config.Default()
 	cfg.MaxInsts = 50_000
 	cfg.WarmupInsts = 5_000
@@ -399,6 +423,7 @@ func BenchmarkChannelScheduling(b *testing.B) {
 // BenchmarkWorkloadSMTSpeedup runs the Section 4.2 metric end to end for a
 // Table 3 mix.
 func BenchmarkWorkloadSMTSpeedup(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	w, err := workload.Lookup("4C-1")
 	if err != nil {
@@ -416,6 +441,7 @@ func BenchmarkWorkloadSMTSpeedup(b *testing.B) {
 // BenchmarkExtensionHWPrefetch regenerates E1: the Section 5.4 conjecture
 // that AMB prefetching composes with hardware prefetching.
 func BenchmarkExtensionHWPrefetch(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.ExtensionHWPrefetch(r)
@@ -435,6 +461,7 @@ func BenchmarkExtensionHWPrefetch(b *testing.B) {
 // BenchmarkAblationRefresh regenerates E2: the cost of DRAM refresh the
 // paper's evaluation ignores.
 func BenchmarkAblationRefresh(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.ExtensionRefresh(r)
@@ -455,6 +482,7 @@ func BenchmarkAblationRefresh(b *testing.B) {
 // interleaving (the paper's reference [26]) vs AMB prefetching as
 // bank-conflict mitigations.
 func BenchmarkExtensionPermutation(b *testing.B) {
+	skipIfShort(b)
 	r := benchRunner()
 	for i := 0; i < b.N; i++ {
 		d, err := exp.ExtensionPermutation(r)

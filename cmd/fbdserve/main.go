@@ -1,0 +1,90 @@
+// Command fbdserve runs the simulator as an HTTP service: submit
+// simulation jobs, poll or cancel them, and fetch cached results, backed
+// by a bounded worker pool with an LRU result cache (see
+// internal/simserver for the API).
+//
+// Examples:
+//
+//	fbdserve -addr :8077
+//	fbdserve -workers 8 -queue 128 -cache 512 -job-timeout 5m
+//
+//	curl -X POST localhost:8077/v1/jobs \
+//	     -d '{"preset": "fbd-ap", "benchmarks": ["swim", "applu"], "seed": 1}'
+//	curl localhost:8077/v1/jobs/job-1
+//	curl -X DELETE localhost:8077/v1/jobs/job-1
+//	curl localhost:8077/metrics
+//
+// On SIGINT/SIGTERM the server stops accepting work, drains in-flight
+// jobs for -grace, then cancels whatever is still running.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fbdsim/internal/simserver"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8077", "listen address")
+		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "job queue depth; overflow returns 429")
+		cacheSize  = flag.Int("cache", 256, "LRU result cache entries")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job execution deadline (0 = none)")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		maxInsts   = flag.Int64("max-insts", 0, "cap on per-job instruction budgets (0 = none)")
+		grace      = flag.Duration("grace", 30*time.Second, "shutdown grace period before in-flight jobs are cancelled")
+	)
+	flag.Parse()
+
+	sim := simserver.New(simserver.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheSize,
+		JobTimeout:   *jobTimeout,
+		RetryAfter:   *retryAfter,
+		MaxInsts:     *maxInsts,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: sim.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("fbdserve: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatalf("%v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("fbdserve: shutting down (grace %s)", *grace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Stop the listener first so no new requests arrive, then drain jobs.
+	if err := httpSrv.Shutdown(graceCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("fbdserve: http shutdown: %v", err)
+	}
+	if err := sim.Shutdown(graceCtx); err != nil {
+		log.Printf("fbdserve: grace period expired; in-flight jobs cancelled")
+	}
+	log.Printf("fbdserve: bye")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fbdserve: "+format+"\n", args...)
+	os.Exit(1)
+}

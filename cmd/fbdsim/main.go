@@ -18,6 +18,7 @@ import (
 	"fbdsim"
 	"fbdsim/internal/clock"
 	"fbdsim/internal/config"
+	"fbdsim/internal/trace"
 	"fbdsim/internal/workload"
 )
 
@@ -99,6 +100,14 @@ func main() {
 		names = w.Benchmarks
 	} else {
 		names = strings.Split(*benches, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+	}
+	for _, name := range names {
+		if _, err := trace.ProfileFor(name); err != nil {
+			fatalf("unknown benchmark %q (valid: %s)", name, strings.Join(trace.AllProgramNames(), ", "))
+		}
 	}
 
 	res, err := fbdsim.Run(cfg, names)

@@ -34,12 +34,24 @@ func main() {
 	names := trace.BenchmarkNames()
 	if *benches != "" {
 		names = strings.Split(*benches, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+	}
+	// Validate every name up front so a typo fails with one clear line
+	// instead of after characterizing the benchmarks before it.
+	for _, name := range names {
+		if _, err := trace.ProfileFor(name); err != nil {
+			fmt.Fprintf(os.Stderr, "fbdtrace: unknown benchmark %q (valid: %s)\n",
+				name, strings.Join(trace.AllProgramNames(), ", "))
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("%-9s %7s %7s %7s %7s %7s %7s %8s %7s\n",
 		"bench", "mem%", "store%", "dep%", "L1miss", "L2miss", "MPKI", "region%", "pf/KI")
 	for _, name := range names {
-		p, err := trace.ProfileFor(strings.TrimSpace(name))
+		p, err := trace.ProfileFor(name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fbdtrace: %v\n", err)
 			os.Exit(1)

@@ -117,7 +117,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "paperexp: unknown experiment %q\n", f)
 		os.Exit(2)
 	}
-	fmt.Printf("\n%d experiment(s) in %.1fs\n", ran, time.Since(start).Seconds())
+	fmt.Println()
+	runner.LogSummary(os.Stdout)
+	fmt.Printf("%d experiment(s) in %.1fs\n", ran, time.Since(start).Seconds())
 }
 
 // formatter is implemented by every figure's Data type.

@@ -32,6 +32,8 @@
 package fbdsim
 
 import (
+	"context"
+
 	"fbdsim/internal/clock"
 	"fbdsim/internal/config"
 	"fbdsim/internal/system"
@@ -108,7 +110,15 @@ func WithFullLatencyHits(c Config) Config { return config.WithFullLatencyHits(c)
 // Run simulates cfg executing one benchmark per core and returns measured
 // results. Valid benchmark names are Benchmarks().
 func Run(cfg Config, benchmarks []string) (Results, error) {
-	return system.RunWorkload(cfg, benchmarks)
+	return RunContext(context.Background(), cfg, benchmarks)
+}
+
+// RunContext is Run with cancellation: the simulation polls ctx at
+// cycle-batch granularity (1024 CPU cycles), so cancelling an in-flight
+// run stops it within milliseconds of wall time. On cancellation the
+// returned error is ctx.Err().
+func RunContext(ctx context.Context, cfg Config, benchmarks []string) (Results, error) {
+	return system.RunWorkloadContext(ctx, cfg, benchmarks)
 }
 
 // LoadConfig reads and validates a JSON configuration file. Fields missing

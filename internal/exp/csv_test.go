@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+
+	"fbdsim/internal/config"
+)
+
+// parseCSV decodes the emitted bytes back into records so the tests check
+// well-formedness, not just substrings.
+func parseCSV(t *testing.T, b []byte) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(bytes.NewReader(b)).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	return recs
+}
+
+func TestFigure4CSV(t *testing.T) {
+	d := Figure4Data{Rows: []Figure4Row{
+		{Workload: "4C-1", Cores: 4, DDR2: 2.5, FBD: 2.625},
+		{Workload: "8C-1", Cores: 8, DDR2: 3, FBD: 3.18},
+	}}
+	var buf bytes.Buffer
+	if err := d.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.Bytes())
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want header + 2 rows", len(recs))
+	}
+	if want := []string{"workload", "cores", "ddr2", "fbd"}; strings.Join(recs[0], ",") != strings.Join(want, ",") {
+		t.Errorf("header = %v, want %v", recs[0], want)
+	}
+	if got := recs[1]; got[0] != "4C-1" || got[1] != "4" || got[2] != "2.500" || got[3] != "2.625" {
+		t.Errorf("row 1 = %v", got)
+	}
+}
+
+func TestFigure8CSVVariantFields(t *testing.T) {
+	d := Figure8Data{Rows: []Figure8Row{
+		{
+			Variant:    PrefetcherVariant{Label: "#CL=4 (default)", RegionLines: 4, Entries: 64, Assoc: config.FullAssoc},
+			Coverage:   0.42,
+			Efficiency: 0.61,
+		},
+	}}
+	var buf bytes.Buffer
+	if err := d.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.Bytes())
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	row := recs[1]
+	// The label contains a comma-free parenthesis but is still one field.
+	if row[0] != "#CL=4 (default)" || row[1] != "4" || row[2] != "64" {
+		t.Errorf("variant columns = %v", row)
+	}
+	if row[4] != "0.420" || row[5] != "0.610" {
+		t.Errorf("metric columns = %v", row)
+	}
+}
+
+func TestExtensionCSVHeaders(t *testing.T) {
+	var buf bytes.Buffer
+	e1 := E1Data{Rows: []E1Row{{Cores: 2, AP: 1.1, HP: 1.05, APHP: 1.15}}}
+	if err := e1.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.Bytes())
+	if strings.Join(recs[0], ",") != "cores,ap,hp,ap_hp" {
+		t.Errorf("E1 header = %v", recs[0])
+	}
+	if recs[1][3] != "1.150" {
+		t.Errorf("E1 row = %v", recs[1])
+	}
+}
+
+// errWriter fails after n bytes so the CSV writers' error paths run.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestCSVPropagatesWriteErrors(t *testing.T) {
+	d := Figure4Data{Rows: []Figure4Row{{Workload: "1C", Cores: 1, DDR2: 1, FBD: 1}}}
+	if err := d.CSV(&errWriter{}); err == nil {
+		t.Error("failing writer must surface an error")
+	}
+	// Fail mid-stream too, after the header went through.
+	if err := d.CSV(&errWriter{n: 10}); err == nil {
+		t.Error("mid-stream write failure must surface an error")
+	}
+}

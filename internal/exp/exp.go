@@ -8,12 +8,18 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fbdsim/internal/clock"
 	"fbdsim/internal/config"
+	"fbdsim/internal/stats"
 	"fbdsim/internal/system"
 	"fbdsim/internal/workload"
 )
@@ -89,6 +95,12 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
 	sem   chan struct{}
+
+	// Cache accounting (see Summary): misses are actual simulations,
+	// hits are requests served from (or coalesced onto) a prior run.
+	hits     stats.Counter
+	misses   stats.Counter
+	simNanos atomic.Int64
 }
 
 type cacheEntry struct {
@@ -113,6 +125,15 @@ func (r *Runner) Options() Options { return r.opts }
 // Run simulates cfg on the benchmark mix, memoized. The Runner's
 // instruction budgets and seed override the config's.
 func (r *Runner) Run(cfg config.Config, benchmarks []string) (system.Results, error) {
+	return r.RunContext(context.Background(), cfg, benchmarks)
+}
+
+// RunContext is Run with cancellation. Cancelling ctx stops an in-flight
+// simulation at cycle-batch granularity (see system.RunContext). A
+// cancelled run is evicted from the memo cache so a later request with the
+// same configuration re-simulates instead of replaying the context error;
+// concurrent waiters coalesced onto a cancelled run observe its error.
+func (r *Runner) RunContext(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
 	cfg.MaxInsts = r.opts.MaxInsts
 	cfg.WarmupInsts = r.opts.WarmupInsts
 	cfg.Seed = r.opts.Seed
@@ -123,15 +144,62 @@ func (r *Runner) Run(cfg config.Config, benchmarks []string) (system.Results, er
 	if !ok {
 		e = &cacheEntry{}
 		r.cache[key] = e
+		r.misses.Inc()
+	} else {
+		r.hits.Inc()
 	}
 	r.mu.Unlock()
 
 	e.once.Do(func() {
-		r.sem <- struct{}{}
+		select {
+		case r.sem <- struct{}{}:
+		case <-ctx.Done():
+			e.err = ctx.Err()
+			return
+		}
 		defer func() { <-r.sem }()
-		e.res, e.err = system.RunWorkload(cfg, benchmarks)
+		start := time.Now()
+		e.res, e.err = system.RunWorkloadContext(ctx, cfg, benchmarks)
+		r.simNanos.Add(time.Since(start).Nanoseconds())
 	})
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		r.mu.Lock()
+		if r.cache[key] == e {
+			delete(r.cache, key)
+		}
+		r.mu.Unlock()
+	}
 	return e.res, e.err
+}
+
+// Summary reports the Runner's cumulative cache accounting.
+type Summary struct {
+	// Simulations is the number of distinct configurations actually
+	// simulated (memo-cache misses).
+	Simulations int64
+	// CacheHits is the number of requests served from — or coalesced
+	// onto — an existing run.
+	CacheHits int64
+	// SimWall is total wall-clock time spent inside the simulator,
+	// summed across parallel runs.
+	SimWall time.Duration
+}
+
+// Summary returns the Runner's cache accounting so far.
+func (r *Runner) Summary() Summary {
+	return Summary{
+		Simulations: r.misses.Value(),
+		CacheHits:   r.hits.Value(),
+		SimWall:     time.Duration(r.simNanos.Load()),
+	}
+}
+
+// LogSummary writes a one-line sweep-cost report, the line cmd/paperexp
+// prints at suite end.
+func (r *Runner) LogSummary(w io.Writer) {
+	s := r.Summary()
+	fmt.Fprintf(w, "runner: %d simulations, %d cache hits, %.1fs simulated wall time\n",
+		s.Simulations, s.CacheHits, s.SimWall.Seconds())
 }
 
 // job is one parallel simulation request.

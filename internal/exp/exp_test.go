@@ -2,6 +2,8 @@ package exp
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -136,6 +138,7 @@ func TestSpeedupSelfReferenceIsOne(t *testing.T) {
 // TestFigure7Shape: AMB prefetching helps every quick workload, with no
 // negative speedups — the paper's headline claim.
 func TestFigure7Shape(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	d, err := Figure7(r)
 	if err != nil {
@@ -167,6 +170,7 @@ func TestFigure7Shape(t *testing.T) {
 // TestFigure8Shape: coverage rises with K and respects the (K-1)/K bound;
 // efficiency falls with K; associativity helps coverage monotonically.
 func TestFigure8Shape(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	d, err := Figure8(r)
 	if err != nil {
@@ -193,6 +197,7 @@ func TestFigure8Shape(t *testing.T) {
 
 // TestFigure9Shape: both gain sources are non-negative everywhere.
 func TestFigure9Shape(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	d, err := Figure9(r)
 	if err != nil {
@@ -211,6 +216,7 @@ func TestFigure9Shape(t *testing.T) {
 // TestFigure12Shape: AP+SP ends up at least as fast as either alone, and
 // close to additive (complementarity).
 func TestFigure12Shape(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	d, err := Figure12(r)
 	if err != nil {
@@ -232,6 +238,7 @@ func TestFigure12Shape(t *testing.T) {
 // saves dynamic power at low core counts; larger K always spends more
 // column accesses.
 func TestFigure13Shape(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	d, err := Figure13(r)
 	if err != nil {
@@ -257,6 +264,7 @@ func TestFigure13Shape(t *testing.T) {
 // TestFigure4And5Consistency: Figure 5 reuses Figure 4's runs, so both
 // complete from one cache without error and cover every workload.
 func TestFigure4And5Consistency(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	f4, err := Figure4(r)
 	if err != nil {
@@ -281,6 +289,7 @@ func TestFigure4And5Consistency(t *testing.T) {
 
 // TestFigure11DefaultIsUnity: the default variant normalizes to exactly 1.
 func TestFigure11DefaultIsUnity(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	d, err := Figure11(r)
 	if err != nil {
@@ -294,5 +303,65 @@ func TestFigure11DefaultIsUnity(t *testing.T) {
 			t.Errorf("@%d cores %s: normalized %.3f implausible",
 				row.Cores, row.Variant.Label, row.Normalized)
 		}
+	}
+}
+
+// TestRunnerContextCancelDoesNotPoison: a cancelled run returns ctx.Err()
+// and is evicted from the memo cache, so the next identical request
+// re-simulates successfully.
+func TestRunnerContextCancelDoesNotPoison(t *testing.T) {
+	r := testRunner()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunContext(ctx, config.Default(), []string{"vpr"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run err = %v, want Canceled", err)
+	}
+	r.mu.Lock()
+	entries := len(r.cache)
+	r.mu.Unlock()
+	if entries != 0 {
+		t.Fatalf("cancelled entry not evicted (%d cached)", entries)
+	}
+	res, err := r.RunContext(context.Background(), config.Default(), []string{"vpr"})
+	if err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if res.IPC[0] <= 0 {
+		t.Error("retry produced an empty result")
+	}
+}
+
+// TestRunnerSummary: hit/miss counters and simulated wall time accumulate.
+func TestRunnerSummary(t *testing.T) {
+	r := testRunner()
+	if _, err := r.Run(config.Default(), []string{"vpr"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(config.Default(), []string{"vpr"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(config.DDR2Baseline(), []string{"vpr"}); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summary()
+	if s.Simulations != 2 || s.CacheHits != 1 {
+		t.Errorf("summary = %+v, want 2 simulations / 1 hit", s)
+	}
+	if s.SimWall <= 0 {
+		t.Error("simulated wall time not recorded")
+	}
+	var buf bytes.Buffer
+	r.LogSummary(&buf)
+	if !strings.Contains(buf.String(), "2 simulations, 1 cache hits") {
+		t.Errorf("LogSummary output %q", buf.String())
+	}
+}
+
+// skipIfShort skips simulation-heavy tests under -short so the race-enabled
+// CI lane stays fast; the full run is unchanged.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulation-heavy test; skipped in -short")
 	}
 }

@@ -10,6 +10,7 @@ import (
 // composes with AMB prefetching; its benefit shrinks as channel contention
 // rises (the paper's argument for prefetching below the channel).
 func TestExtensionHWPrefetchShape(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	d, err := ExtensionHWPrefetch(r)
 	if err != nil {
@@ -48,6 +49,7 @@ func TestExtensionHWPrefetchShape(t *testing.T) {
 // TestExtensionRefreshShape: refresh costs a few percent at most and never
 // flips the AP-vs-FBD comparison.
 func TestExtensionRefreshShape(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	d, err := ExtensionRefresh(r)
 	if err != nil {
@@ -69,6 +71,7 @@ func TestExtensionRefreshShape(t *testing.T) {
 // TestExtensionPermutationShape: AMB prefetching cuts conflicts far below
 // either baseline; every system keeps a sane speedup.
 func TestExtensionPermutationShape(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	d, err := ExtensionPermutation(r)
 	if err != nil {
@@ -93,6 +96,7 @@ func TestExtensionPermutationShape(t *testing.T) {
 // positive at every core count (the paper's "no negative speedup" claim
 // is not a lucky draw).
 func TestExtensionSeedSensitivity(t *testing.T) {
+	skipIfShort(t)
 	r := NewRunner(Options{
 		MaxInsts:    40_000,
 		WarmupInsts: 5_000,
@@ -118,6 +122,7 @@ func TestExtensionSeedSensitivity(t *testing.T) {
 // TestExtensionDDR3Shape: DDR3 beats DDR2 device bandwidth, and the AMB
 // prefetching gain survives the generation change.
 func TestExtensionDDR3Shape(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	d, err := ExtensionDDR3(r)
 	if err != nil {

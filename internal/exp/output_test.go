@@ -17,6 +17,7 @@ type csverT interface{ CSV(w io.Writer) error }
 // Plot and CSV where implemented. Everything must produce non-trivial,
 // well-formed output.
 func TestEveryFigureOutputSurface(t *testing.T) {
+	skipIfShort(t)
 	r := NewRunner(Options{
 		MaxInsts:    40_000,
 		WarmupInsts: 5_000,
@@ -81,6 +82,7 @@ func TestEveryFigureOutputSurface(t *testing.T) {
 
 // TestFigure6ChannelMonotonicity: more channels never hurt, at any rate.
 func TestFigure6ChannelMonotonicity(t *testing.T) {
+	skipIfShort(t)
 	r := NewRunner(Options{
 		MaxInsts:    40_000,
 		WarmupInsts: 5_000,
@@ -109,6 +111,7 @@ func TestFigure6ChannelMonotonicity(t *testing.T) {
 
 // TestFigure10EveryWorkloadImproves: the Figure 10 claim, on the quick set.
 func TestFigure10EveryWorkloadImproves(t *testing.T) {
+	skipIfShort(t)
 	r := testRunner()
 	d, err := Figure10(r)
 	if err != nil {

@@ -1,0 +1,78 @@
+package simserver
+
+import (
+	"testing"
+
+	"fbdsim/internal/config"
+	"fbdsim/internal/system"
+)
+
+func TestKeyCanonical(t *testing.T) {
+	cfg := config.Default()
+	a := Key(cfg, []string{"swim", "applu"})
+	b := Key(cfg, []string{"swim", "applu"})
+	if a != b {
+		t.Error("identical requests must hash identically")
+	}
+	if len(a) != 64 {
+		t.Errorf("key length = %d, want 64 hex chars", len(a))
+	}
+
+	// Every dimension the ISSUE names must separate keys: config knobs,
+	// workload, seed, instruction budget.
+	variants := []struct {
+		name  string
+		key   string
+		other string
+	}{
+		{"benchmark order", a, Key(cfg, []string{"applu", "swim"})},
+		{"benchmark set", a, Key(cfg, []string{"swim"})},
+	}
+	seed := cfg
+	seed.Seed = 99
+	variants = append(variants, struct{ name, key, other string }{"seed", a, Key(seed, []string{"swim", "applu"})})
+	insts := cfg
+	insts.MaxInsts = 123
+	variants = append(variants, struct{ name, key, other string }{"budget", a, Key(insts, []string{"swim", "applu"})})
+	ap := config.WithAMBPrefetch(cfg)
+	variants = append(variants, struct{ name, key, other string }{"config", a, Key(ap, []string{"swim", "applu"})})
+
+	for _, v := range variants {
+		if v.key == v.other {
+			t.Errorf("%s: distinct requests share a key", v.name)
+		}
+	}
+}
+
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	r := func(n int64) system.Results { return system.Results{Cycles: n} }
+
+	c.Put("a", r(1))
+	c.Put("b", r(2))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should be cached")
+	}
+	// a was just used, so inserting c evicts b.
+	c.Put("c", r(3))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if got, ok := c.Get("a"); !ok || got.Cycles != 1 {
+		t.Error("a should have survived")
+	}
+	if got, ok := c.Get("c"); !ok || got.Cycles != 3 {
+		t.Error("c should be cached")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	// Overwriting refreshes, not grows.
+	c.Put("c", r(33))
+	if got, _ := c.Get("c"); got.Cycles != 33 {
+		t.Error("overwrite must update the stored result")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len after overwrite = %d, want 2", c.Len())
+	}
+}

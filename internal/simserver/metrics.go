@@ -1,0 +1,64 @@
+package simserver
+
+import (
+	"sync"
+	"time"
+
+	"fbdsim/internal/stats"
+)
+
+// Metrics is the server's counter set, published through a stats.Registry
+// on /metrics. All counters are goroutine-safe.
+type Metrics struct {
+	reg *stats.Registry
+
+	// Job lifecycle.
+	Accepted  *stats.Counter // submissions admitted (including coalesced)
+	Completed *stats.Counter // jobs that finished successfully
+	Cancelled *stats.Counter // jobs cancelled before completing
+	Failed    *stats.Counter // jobs that errored
+	Rejected  *stats.Counter // submissions refused with 429 (queue full)
+
+	// Result cache.
+	CacheHits   *stats.Counter // served from cache or coalesced onto a run
+	CacheMisses *stats.Counter // submissions that required a simulation
+
+	// Per-job wall time of completed simulations.
+	wallMu sync.Mutex
+	wall   stats.Summary
+}
+
+func newMetrics() *Metrics {
+	reg := &stats.Registry{}
+	m := &Metrics{
+		reg:         reg,
+		Accepted:    reg.Counter("jobs_accepted"),
+		Completed:   reg.Counter("jobs_completed"),
+		Cancelled:   reg.Counter("jobs_cancelled"),
+		Failed:      reg.Counter("jobs_failed"),
+		Rejected:    reg.Counter("jobs_rejected"),
+		CacheHits:   reg.Counter("cache_hits"),
+		CacheMisses: reg.Counter("cache_misses"),
+	}
+	reg.Func("job_wall_ms_count", func() any { i, _, _ := m.wallSnapshot(); return i })
+	reg.Func("job_wall_ms_mean", func() any { _, mean, _ := m.wallSnapshot(); return mean })
+	reg.Func("job_wall_ms_max", func() any { _, _, max := m.wallSnapshot(); return max })
+	return m
+}
+
+// ObserveWall records one completed job's wall time.
+func (m *Metrics) ObserveWall(d time.Duration) {
+	m.wallMu.Lock()
+	m.wall.Observe(float64(d) / float64(time.Millisecond))
+	m.wallMu.Unlock()
+}
+
+func (m *Metrics) wallSnapshot() (count int64, mean, max float64) {
+	m.wallMu.Lock()
+	defer m.wallMu.Unlock()
+	return m.wall.Count(), m.wall.Mean(), m.wall.Max()
+}
+
+// Registry exposes the underlying registry so the server can attach
+// gauges (queue depth, busy workers).
+func (m *Metrics) Registry() *stats.Registry { return m.reg }

@@ -1,0 +1,577 @@
+// Package simserver turns the simulator into a service: an HTTP JSON API
+// that queues simulation jobs onto a bounded worker pool, deduplicates
+// identical requests through an LRU result cache and in-flight coalescing,
+// cancels running jobs through the simulator's context plumbing, and
+// exposes its counters on an expvar-style /metrics endpoint.
+//
+// API:
+//
+//	POST   /v1/jobs          submit {preset, config, benchmarks, seed, ...}
+//	GET    /v1/jobs/{id}     poll one job (results embedded when done)
+//	DELETE /v1/jobs/{id}     cancel; returns the job's final state
+//	GET    /v1/results/{key} direct result-cache lookup by canonical key
+//	GET    /healthz          liveness (503 while shutting down)
+//	GET    /metrics          counter registry as JSON
+//
+// Backpressure: when the job queue is full, submissions are refused with
+// HTTP 429 and a Retry-After header. Shutdown stops intake immediately,
+// drains in-flight jobs for a grace period, then cancels survivors.
+package simserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fbdsim/internal/config"
+	"fbdsim/internal/system"
+	"fbdsim/internal/trace"
+)
+
+// RunFunc executes one simulation. Tests substitute fakes; production uses
+// system.RunWorkloadContext.
+type RunFunc func(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error)
+
+// Options configures a Server. The zero value gets sensible defaults.
+type Options struct {
+	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the FIFO job queue; a full queue rejects
+	// submissions with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 256).
+	CacheEntries int
+	// JobTimeout is the per-job execution deadline; 0 means none.
+	JobTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxInsts caps the per-job instruction budget a client may request;
+	// 0 means no cap.
+	MaxInsts int64
+	// Run overrides the simulation function (tests).
+	Run RunFunc
+}
+
+func (o Options) norm() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Run == nil {
+		o.Run = system.RunWorkloadContext
+	}
+	return o
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// job is one tracked simulation request.
+type job struct {
+	id         string
+	key        string
+	cfg        config.Config
+	benchmarks []string
+	submitted  time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed on terminal transition
+
+	mu       sync.Mutex
+	state    State
+	res      system.Results
+	errMsg   string
+	started  time.Time
+	finished time.Time
+}
+
+// snapshotView renders the job for JSON responses.
+func (j *job) snapshotView(withResults bool) jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:         j.id,
+		Key:        j.key,
+		State:      string(j.state),
+		Benchmarks: j.benchmarks,
+		Error:      j.errMsg,
+	}
+	if !j.started.IsZero() && !j.finished.IsZero() {
+		v.WallMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	}
+	if withResults && j.state == StateDone {
+		res := j.res
+		v.Results = &res
+	}
+	return v
+}
+
+// tryStart moves queued -> running; false if the job was cancelled while
+// waiting in the queue.
+func (j *job) tryStart() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records the terminal state and wakes waiters.
+func (j *job) finish(state State, res system.Results, errMsg string) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.res = res
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *job) currentState() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Server is the simulation service: queue, worker pool, cache, metrics.
+type Server struct {
+	opts    Options
+	metrics *Metrics
+	cache   *resultCache
+	queue   chan *job
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	byKey  map[string]*job // queued/running jobs, for coalescing
+	closed bool
+	nextID int64
+
+	busy     atomic.Int64
+	workerWG sync.WaitGroup
+	shutOnce sync.Once
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	o := opts.norm()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       o,
+		metrics:    newMetrics(),
+		cache:      newResultCache(o.CacheEntries),
+		queue:      make(chan *job, o.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+		byKey:      make(map[string]*job),
+	}
+	reg := s.metrics.Registry()
+	reg.Func("queue_depth", func() any { return len(s.queue) })
+	reg.Func("workers", func() any { return o.Workers })
+	reg.Func("workers_busy", func() any { return s.busy.Load() })
+	reg.Func("cache_entries", func() any { return s.cache.Len() })
+	for i := 0; i < o.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the server's counters (tests, embedding binaries).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// worker drains the queue until it is closed by Shutdown.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job and records its outcome.
+func (s *Server) runJob(j *job) {
+	if !j.tryStart() {
+		// Cancelled while queued; cancelJob already finished it.
+		return
+	}
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+
+	ctx := j.ctx
+	if s.opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := s.opts.Run(ctx, j.cfg, j.benchmarks)
+	wall := time.Since(start)
+
+	s.mu.Lock()
+	if s.byKey[j.key] == j {
+		delete(s.byKey, j.key)
+	}
+	s.mu.Unlock()
+
+	switch {
+	case err == nil:
+		s.cache.Put(j.key, res)
+		s.metrics.ObserveWall(wall)
+		s.metrics.Completed.Inc()
+		j.finish(StateDone, res, "")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.metrics.Cancelled.Inc()
+		j.finish(StateCancelled, system.Results{}, err.Error())
+	default:
+		s.metrics.Failed.Inc()
+		j.finish(StateFailed, system.Results{}, err.Error())
+	}
+}
+
+// Shutdown stops intake, then waits for queued and running jobs to drain.
+// When ctx expires first, every remaining job is cancelled through the
+// simulator's context plumbing and Shutdown still waits (briefly) for the
+// workers to observe the cancellation. Subsequent submissions are refused
+// with 503. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		// No submission can be in flight past this point: enqueue happens
+		// under s.mu with the closed check, so closing the channel is safe.
+		close(s.queue)
+	})
+	drained := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // cancel every job context; workers unwind fast
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// ------------------------------------------------------------------ HTTP
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	// Preset names a base configuration: ddr2, fbd (default), fbd-ap,
+	// fbd-apfl.
+	Preset string `json:"preset"`
+	// Config optionally overrides preset fields; unknown fields are
+	// rejected, mirroring config.Load.
+	Config json.RawMessage `json:"config"`
+	// Benchmarks is the per-core program list (required).
+	Benchmarks []string `json:"benchmarks"`
+	Seed       int64    `json:"seed"`
+	MaxInsts   int64    `json:"max_insts"`
+	Warmup     int64    `json:"warmup_insts"`
+}
+
+// jobView is the JSON rendering of a job.
+type jobView struct {
+	ID         string          `json:"id"`
+	Key        string          `json:"key"`
+	State      string          `json:"state"`
+	Benchmarks []string        `json:"benchmarks,omitempty"`
+	Coalesced  bool            `json:"coalesced,omitempty"`
+	Cached     bool            `json:"cached,omitempty"`
+	WallMS     float64         `json:"wall_ms,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Results    *system.Results `json:"results,omitempty"`
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// buildConfig resolves preset + overrides + budgets into a validated Config.
+func (s *Server) buildConfig(req *submitRequest) (config.Config, error) {
+	var cfg config.Config
+	switch req.Preset {
+	case "", "fbd":
+		cfg = config.Default()
+	case "ddr2":
+		cfg = config.DDR2Baseline()
+	case "fbd-ap":
+		cfg = config.WithAMBPrefetch(config.Default())
+	case "fbd-apfl":
+		cfg = config.WithFullLatencyHits(config.Default())
+	default:
+		return config.Config{}, fmt.Errorf("unknown preset %q (want ddr2, fbd, fbd-ap, fbd-apfl)", req.Preset)
+	}
+	if len(req.Config) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(req.Config))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			return config.Config{}, fmt.Errorf("config overrides: %v", err)
+		}
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	if req.MaxInsts > 0 {
+		cfg.MaxInsts = req.MaxInsts
+	}
+	if req.Warmup > 0 {
+		cfg.WarmupInsts = req.Warmup
+	}
+	if s.opts.MaxInsts > 0 && cfg.MaxInsts > s.opts.MaxInsts {
+		return config.Config{}, fmt.Errorf("max_insts %d exceeds server cap %d", cfg.MaxInsts, s.opts.MaxInsts)
+	}
+	if len(req.Benchmarks) == 0 {
+		return config.Config{}, errors.New("benchmarks list is required")
+	}
+	for _, b := range req.Benchmarks {
+		if _, err := trace.ProfileFor(b); err != nil {
+			return config.Config{}, fmt.Errorf("unknown benchmark %q (valid: %v)", b, trace.AllProgramNames())
+		}
+	}
+	cfg.CPU.Cores = len(req.Benchmarks)
+	if err := cfg.Validate(); err != nil {
+		return config.Config{}, err
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	cfg, err := s.buildConfig(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := Key(cfg, req.Benchmarks)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	// Fast path 1: an identical completed run is cached.
+	if res, ok := s.cache.Get(key); ok {
+		id := s.newIDLocked()
+		j := s.newJobLocked(id, key, cfg, req.Benchmarks)
+		j.finish(StateDone, res, "")
+		j.cancel() // release the job context; nothing will run
+		s.metrics.Accepted.Inc()
+		s.metrics.CacheHits.Inc()
+		s.mu.Unlock()
+		v := j.snapshotView(true)
+		v.Cached = true
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	// Fast path 2: an identical job is already queued or running —
+	// coalesce onto it instead of simulating twice.
+	if existing, ok := s.byKey[key]; ok {
+		s.metrics.Accepted.Inc()
+		s.metrics.CacheHits.Inc()
+		s.mu.Unlock()
+		v := existing.snapshotView(false)
+		v.Coalesced = true
+		writeJSON(w, http.StatusAccepted, v)
+		return
+	}
+	// Slow path: a fresh simulation must be queued.
+	id := s.newIDLocked()
+	j := s.newJobLocked(id, key, cfg, req.Benchmarks)
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, id)
+		j.cancel()
+		s.metrics.Rejected.Inc()
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusTooManyRequests, "job queue full (depth %d); retry later", s.opts.QueueDepth)
+		return
+	}
+	s.byKey[key] = j
+	s.metrics.Accepted.Inc()
+	s.metrics.CacheMisses.Inc()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, j.snapshotView(false))
+}
+
+// newIDLocked mints a job id; caller holds s.mu.
+func (s *Server) newIDLocked() string {
+	s.nextID++
+	return fmt.Sprintf("job-%d", s.nextID)
+}
+
+// newJobLocked creates and registers a job record; caller holds s.mu.
+func (s *Server) newJobLocked(id, key string, cfg config.Config, benchmarks []string) *job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		id:         id,
+		key:        key,
+		cfg:        cfg,
+		benchmarks: append([]string(nil), benchmarks...),
+		submitted:  time.Now(),
+		ctx:        ctx,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+		state:      StateQueued,
+	}
+	s.jobs[id] = j
+	return j
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshotView(true))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.cancelJob(j)
+	// The simulator polls its context at cycle-batch granularity, so a
+	// running job reaches a terminal state within milliseconds; wait for
+	// it so the response carries the final state.
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		writeError(w, http.StatusRequestTimeout, "cancellation still in flight")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshotView(false))
+}
+
+// cancelJob cancels one job whatever its phase. A queued job is finished
+// immediately (the worker will skip it); a running one is stopped through
+// its context and the worker records the outcome.
+func (s *Server) cancelJob(j *job) {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		// Atomic with tryStart (both hold j.mu): the worker cannot start
+		// this job anymore.
+		j.state = StateCancelled
+		j.errMsg = context.Canceled.Error()
+		j.finished = time.Now()
+		j.mu.Unlock()
+		close(j.done)
+		s.mu.Lock()
+		if s.byKey[j.key] == j {
+			delete(s.byKey, j.key)
+		}
+		s.mu.Unlock()
+		s.metrics.Cancelled.Inc()
+		j.cancel()
+		return
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.cache.Get(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for key")
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.metrics.Registry().WriteJSON(w)
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing, goroutine-safe event counter — the
+// building block of the serving-side metrics (jobs accepted, cache hits,
+// ...) and of the experiment Runner's cache accounting.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative for gauge-like uses, e.g. queue depth).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry is an expvar-style collection of named metrics that renders
+// itself as a JSON object. Values are read at render time, so registering a
+// Counter or a Func is enough to keep the exported value live. The zero
+// value is ready to use.
+type Registry struct {
+	mu    sync.Mutex
+	names []string
+	vars  map[string]func() any
+}
+
+// Func registers a metric computed at render time.
+func (r *Registry) Func(name string, f func() any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.vars == nil {
+		r.vars = make(map[string]func() any)
+	}
+	if _, dup := r.vars[name]; dup {
+		panic(fmt.Sprintf("stats: duplicate metric %q", name))
+	}
+	r.names = append(r.names, name)
+	r.vars[name] = f
+}
+
+// Counter registers and returns a named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c := &Counter{}
+	r.Func(name, func() any { return c.Value() })
+	return c
+}
+
+// Snapshot returns the current value of every metric, keyed by name.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.names))
+	for name, f := range r.vars {
+		out[name] = f()
+	}
+	return out
+}
+
+// WriteJSON renders the registry as an indented JSON object with keys in
+// sorted order (stable output for tests and scrapers).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	vars := make(map[string]func() any, len(names))
+	for k, v := range r.vars {
+		vars[k] = v
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	// Render through an ordered map: encoding/json sorts map keys, which
+	// is exactly the stability we want, but values must be captured first
+	// so a slow marshal does not hold the registry lock.
+	obj := make(map[string]any, len(names))
+	for _, name := range names {
+		obj[name] = vars[name]()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obj)
+}

@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	c.Add(-8000)
+	if got := c.Value(); got != 0 {
+		t.Errorf("after Add(-8000) = %d, want 0", got)
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	reg := &Registry{}
+	jobs := reg.Counter("jobs")
+	reg.Func("depth", func() any { return 3 })
+	jobs.Add(5)
+
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &m); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, sb.String())
+	}
+	if m["jobs"].(float64) != 5 || m["depth"].(float64) != 3 {
+		t.Errorf("rendered values wrong: %v", m)
+	}
+
+	snap := reg.Snapshot()
+	if snap["jobs"].(int64) != 5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate metric name must panic")
+		}
+	}()
+	reg := &Registry{}
+	reg.Counter("x")
+	reg.Counter("x")
+}

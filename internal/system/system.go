@@ -5,6 +5,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 
 	"fbdsim/internal/ambcache"
@@ -159,11 +160,20 @@ func (s *System) Hierarchy() *cpu.Hierarchy { return s.hier }
 // Run executes warmup then measurement and returns the measured Results.
 // It errors out if the machine stops making progress (a model bug guard).
 func (s *System) Run() (Results, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: ctx is checked once per cycle batch
+// (1024 CPU cycles, microseconds of wall time), so a cancelled run stops
+// within milliseconds rather than at the instruction budget. On
+// cancellation it returns ctx.Err() and an empty Results.
+func (s *System) RunContext(ctx context.Context) (Results, error) {
 	var (
 		cycle    int64
 		warm     *snapshot
 		interval = int64(1024)
 	)
+	done := ctx.Done()
 	// Generous progress bound: if the slowest plausible IPC (~0.02/core)
 	// cannot explain the cycle count, something is wedged.
 	budget := s.cfg.WarmupInsts + s.cfg.MaxInsts
@@ -182,6 +192,13 @@ func (s *System) Run() (Results, error) {
 
 		if cycle%interval != 0 {
 			continue
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return Results{}, ctx.Err()
+			default:
+			}
 		}
 		if warm == nil {
 			if s.minCommitted() >= s.cfg.WarmupInsts {
@@ -319,9 +336,14 @@ func (s *System) results(w *snapshot, cycle int64) Results {
 
 // RunWorkload is a convenience: build and run in one call.
 func RunWorkload(cfg config.Config, benchmarks []string) (Results, error) {
+	return RunWorkloadContext(context.Background(), cfg, benchmarks)
+}
+
+// RunWorkloadContext is RunWorkload with cancellation (see RunContext).
+func RunWorkloadContext(ctx context.Context, cfg config.Config, benchmarks []string) (Results, error) {
 	s, err := New(cfg, benchmarks)
 	if err != nil {
 		return Results{}, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }

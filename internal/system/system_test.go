@@ -1,9 +1,12 @@
 package system
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"fbdsim/internal/config"
 )
@@ -434,5 +437,57 @@ func TestMcfLowIPC(t *testing.T) {
 	}
 	if mcf.IPC[0] >= swim.IPC[0]*0.6 {
 		t.Errorf("mcf IPC %.3f not clearly below swim %.3f", mcf.IPC[0], swim.IPC[0])
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	// A budget no test machine finishes in the test's lifetime.
+	cfg := config.Default()
+	cfg.MaxInsts = 500_000_000
+	cfg.WarmupInsts = 0
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunWorkloadContext(ctx, cfg, []string{"swim"})
+		done <- err
+	}()
+	// Let the simulation get going, then cancel and time the stop.
+	time.Sleep(20 * time.Millisecond)
+	begin := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled simulation did not stop")
+	}
+	if elapsed := time.Since(begin); elapsed > 100*time.Millisecond {
+		t.Errorf("cancellation latency %v, want < 100ms (cycle-batch granularity)", elapsed)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunWorkloadContext(ctx, quickCfg(config.Default()), []string{"swim"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled context: err = %v, want Canceled", err)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	cfg := quickCfg(config.Default())
+	a, err := RunWorkload(cfg, []string{"vpr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkloadContext(context.Background(), cfg, []string{"vpr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.IPC[0] != b.IPC[0] {
+		t.Error("RunWorkloadContext(Background) must be identical to RunWorkload")
 	}
 }
