@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -43,6 +44,8 @@ func main() {
 		vrl      = flag.Bool("vrl", false, "enable variable read latency")
 		hist     = flag.Bool("hist", false, "print the read-latency histogram")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of text")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file")
+		tlOut    = flag.String("timeline", "", "write the epoch time-series CSV to this file")
 	)
 	flag.Parse()
 
@@ -72,6 +75,9 @@ func main() {
 	cfg.CPU.SoftwarePrefetch = !*noSP
 	cfg.CPU.HardwarePrefetch = *hwPF
 	cfg.Mem.RefreshEnabled = *refresh
+	if *traceOut != "" || *tlOut != "" {
+		cfg.Trace.Enabled = true
+	}
 
 	if *cfgFile != "" {
 		loaded, err := config.LoadFile(*cfgFile)
@@ -81,6 +87,9 @@ func main() {
 		loaded.MaxInsts = *insts
 		loaded.WarmupInsts = *warmup
 		loaded.Seed = *seed
+		if *traceOut != "" || *tlOut != "" {
+			loaded.Trace.Enabled = true
+		}
 		cfg = loaded
 	}
 	if *saveCfg != "" {
@@ -113,6 +122,17 @@ func main() {
 	res, err := fbdsim.Run(cfg, names)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if res.Trace != nil {
+		if *traceOut != "" {
+			writeArtifact(*traceOut, res.Trace.WriteChromeTrace)
+			fmt.Fprintf(os.Stderr, "fbdsim: Chrome trace written to %s (open in ui.perfetto.dev)\n", *traceOut)
+		}
+		if *tlOut != "" {
+			writeArtifact(*tlOut, res.Trace.WriteTimelineCSV)
+			fmt.Fprintf(os.Stderr, "fbdsim: timeline CSV written to %s\n", *tlOut)
+		}
 	}
 
 	if *jsonOut {
@@ -154,6 +174,25 @@ func main() {
 	if *hist && res.LatencyHist != nil {
 		fmt.Printf("\nread latency distribution:\n%s", res.LatencyHist.Render(48))
 	}
+	if res.Trace != nil {
+		fmt.Println()
+		res.Trace.Render(os.Stdout, 64)
+	}
+}
+
+// writeArtifact writes one exporter's output to path.
+func writeArtifact(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatalf("writing %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("%v", err)
+	}
 }
 
 // emitJSON prints a machine-readable result record.
@@ -182,6 +221,9 @@ func emitJSON(cfg fbdsim.Config, names []string, res fbdsim.Results) {
 		"ambCoverage":   res.AMB.Coverage(),
 		"ambEfficiency": res.AMB.Efficiency(),
 		"l2MissRate":    res.L2MissRate(),
+	}
+	if res.Trace != nil {
+		out["trace"] = res.Trace
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -273,10 +273,29 @@ type CPU struct {
 	HWPrefetchDegree  int
 }
 
+// Trace configures the optional memtrace recorder (per-request lifecycle
+// events, per-stage latency histograms, epoch time-series). Disabled by
+// default; when disabled the simulator pays only a nil-pointer check.
+type Trace struct {
+	// Enabled turns the recorder on.
+	Enabled bool
+	// Epoch is the time-series sampling interval; 0 means the recorder
+	// default (1 µs of simulated time).
+	Epoch clock.Time
+	// MaxEvents bounds the number of retained per-request events (the
+	// Chrome trace size); 0 means the recorder default (65536). Events
+	// beyond the bound are dropped from the trace but still counted in
+	// the histograms and epochs.
+	MaxEvents int
+}
+
 // Config is the complete simulated-system configuration.
 type Config struct {
 	CPU CPU
 	Mem Mem
+
+	// Trace configures the optional memtrace recorder.
+	Trace Trace
 
 	// MaxInsts is the per-core commit budget; the simulation stops when
 	// any core commits this many instructions past warmup (the paper
@@ -401,6 +420,12 @@ func (c *Config) Validate() error {
 	}
 	if !powerOfTwo(c.CPU.LineBytes) {
 		return fmt.Errorf("config: line size %d not a power of two", c.CPU.LineBytes)
+	}
+	if c.Trace.Epoch < 0 {
+		return errors.New("config: trace epoch must be non-negative")
+	}
+	if c.Trace.MaxEvents < 0 {
+		return errors.New("config: trace MaxEvents must be non-negative")
 	}
 	return c.Mem.validate()
 }

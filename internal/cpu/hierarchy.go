@@ -24,10 +24,18 @@ import (
 type missEntry struct {
 	line    int64
 	core    int
-	dirty   bool // a store (RFO) is among the requesters
-	sw      bool // purely a software prefetch (no waiters)
-	issued  bool // accepted by the memory controller
+	dirty   bool       // a store (RFO) is among the requesters
+	sw      bool       // purely a software prefetch (no waiters)
+	issued  bool       // accepted by the memory controller
+	created clock.Time // MSHR allocation time, kept across Enqueue retries
 	waiters []func(doneCycle int64)
+}
+
+// wbEntry is a dirty victim line awaiting controller space, with the time
+// the eviction produced it (the memtrace "created" stamp).
+type wbEntry struct {
+	addr    int64
+	created clock.Time
 }
 
 // Hierarchy owns the shared L2, the per-core L1 data caches, the MSHR
@@ -41,7 +49,7 @@ type Hierarchy struct {
 
 	outstanding map[int64]*missEntry
 	unissued    []*missEntry // created but not yet accepted by the controller
-	writebacks  []int64      // dirty victim lines awaiting controller space
+	writebacks  []wbEntry    // dirty victim lines awaiting controller space
 
 	// hwpf is the optional stream prefetcher trained by demand L2 misses.
 	hwpf *hwprefetch.Prefetcher
@@ -186,7 +194,7 @@ func (h *Hierarchy) prefetchLine(core int, addr int64, counter *int64) {
 		h.DroppedPF++
 		return
 	}
-	e := &missEntry{line: line, core: core, sw: true}
+	e := &missEntry{line: line, core: core, sw: true, created: h.now}
 	h.outstanding[line] = e
 	h.l2MSHRInUse++
 	*counter++
@@ -211,7 +219,7 @@ func (h *Hierarchy) startMiss(core int, line int64, dirty, sw bool, onDone func(
 	if h.l2MSHRInUse >= h.cfg.L2MSHRs {
 		return false
 	}
-	e := &missEntry{line: line, core: core, dirty: dirty, sw: sw}
+	e := &missEntry{line: line, core: core, dirty: dirty, sw: sw, created: h.now}
 	if onDone != nil {
 		e.waiters = append(e.waiters, onDone)
 	}
@@ -235,6 +243,7 @@ func (h *Hierarchy) issue(e *missEntry) bool {
 		Kind:       memreq.Read,
 		Core:       e.core,
 		SWPrefetch: e.sw,
+		Created:    e.created,
 		OnDone:     func(r *memreq.Request) { h.complete(e, r.Done) },
 	}
 	if !h.mem.Enqueue(req, h.now) {
@@ -279,7 +288,7 @@ func (h *Hierarchy) fillL1(core int, addr int64, dirty bool) {
 
 // writeback queues a dirty line for memory.
 func (h *Hierarchy) writeback(line int64) {
-	h.writebacks = append(h.writebacks, line)
+	h.writebacks = append(h.writebacks, wbEntry{addr: line, created: h.now})
 }
 
 // Tick retries unissued misses and pending writebacks; the system loop
@@ -298,10 +307,12 @@ func (h *Hierarchy) Tick(cycle int64, now clock.Time) {
 
 	for len(h.writebacks) > 0 {
 		h.reqID++
+		wb := h.writebacks[0]
 		req := &memreq.Request{
-			ID:   h.reqID,
-			Addr: h.writebacks[0],
-			Kind: memreq.Write,
+			ID:      h.reqID,
+			Addr:    wb.addr,
+			Kind:    memreq.Write,
+			Created: wb.created,
 		}
 		if !h.mem.Enqueue(req, now) {
 			break

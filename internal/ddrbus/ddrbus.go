@@ -44,6 +44,12 @@ type Channel struct {
 	Links fbdchan.LinkStats
 	// BankConflicts counts activations delayed by bank-level timing.
 	BankConflicts int64
+
+	// lastCmdAt / lastServiceAt mirror fbdchan.Channel's fields: the
+	// command-arrival and data-bus start of the most recent Schedule* call,
+	// surfaced through LastTiming for the memtrace recorder.
+	lastCmdAt     clock.Time
+	lastServiceAt clock.Time
 }
 
 // New builds the channel model from a validated configuration.
@@ -99,6 +105,7 @@ func (c *Channel) ScheduleRead(addr int64, ready clock.Time) (dataAt clock.Time,
 	slot := c.cmdBus.Reserve(ready, 2*c.tck)
 	cmdArrive := slot + c.cmdDelay
 	busStart := c.bankRead(loc, cmdArrive)
+	c.lastCmdAt, c.lastServiceAt = cmdArrive, busStart
 	return busStart + c.burst, false
 }
 
@@ -164,6 +171,7 @@ func (c *Channel) ScheduleWrite(addrs []int64, ready clock.Time) clock.Time {
 	wrMin := bank.EarliestWrite(cmdArrive)
 	busAt := c.dataBus.Reserve(wrMin+t.TWL, clock.Time(n)*c.burst)
 	wrAt := busAt - t.TWL
+	c.lastCmdAt, c.lastServiceAt = cmdArrive, busAt
 	dataStart := bank.Write(wrAt, clock.Time(n)*c.burst, &c.Counters)
 	c.Counters.ColWrit += int64(n - 1)
 	lastWr := wrAt + clock.Time(n-1)*c.burst
@@ -179,6 +187,18 @@ func (c *Channel) ScheduleWrite(addrs []int64, ready clock.Time) clock.Time {
 // (returned as "north"; the command bus as "south") for utilization stats.
 func (c *Channel) LinkBusy() (north, south clock.Time) {
 	return c.dataBus.TotalReserved(), c.cmdBus.TotalReserved()
+}
+
+// LastTiming returns the command-arrival and service-start times of the
+// most recent ScheduleRead/ScheduleWrite call (see fbdchan.Channel.LastTiming).
+func (c *Channel) LastTiming() (cmdAt, serviceAt clock.Time) {
+	return c.lastCmdAt, c.lastServiceAt
+}
+
+// DIMMBusBusy reports the cumulative reserved time of the shared data bus.
+// On DDR2 the "DIMM bus" and the channel data bus are the same wires.
+func (c *Channel) DIMMBusBusy() clock.Time {
+	return c.dataBus.TotalReserved()
 }
 
 // Housekeep prunes reservation history older than horizon.

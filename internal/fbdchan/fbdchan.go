@@ -65,6 +65,13 @@ type Channel struct {
 	// (tRC/precharge/tRRD) — the inefficiency source Section 5.2 blames
 	// for idle channel cycles and AMB prefetching reduces.
 	BankConflicts int64
+
+	// lastCmdAt / lastServiceAt record the command-arrival and
+	// service-start instants of the most recent Schedule* call; the
+	// controller copies them into the request when tracing is enabled
+	// (see LastTiming).
+	lastCmdAt     clock.Time
+	lastServiceAt clock.Time
 }
 
 // New builds the channel model. cfg must be validated; mapper must be built
@@ -177,6 +184,7 @@ func (c *Channel) ScheduleRead(addr int64, ready clock.Time) (dataAt clock.Time,
 	sSlot := c.south.Reserve(ready, c.cmdSlot)
 	cmdArrive := sSlot + c.cmdDelay
 	burstStart := c.bankRead(loc, cmdArrive, 1)
+	c.lastCmdAt, c.lastServiceAt = cmdArrive, burstStart
 	nSlot := c.north.Reserve(burstStart, c.northTime)
 	return nSlot + c.northTime + c.hop(loc.DIMM), false
 }
@@ -206,6 +214,7 @@ func (c *Channel) scheduleAMBHit(loc addrmap.Location, ready, avail clock.Time) 
 	if c.cfg.FullLatencyHits {
 		ambReady += c.cfg.Timing.TRCD + c.cfg.Timing.TCL
 	}
+	c.lastCmdAt, c.lastServiceAt = sSlot+c.cmdDelay, ambReady
 	nSlot := c.north.Reserve(ambReady, c.northTime)
 	return nSlot + c.northTime + c.hop(loc.DIMM)
 }
@@ -221,6 +230,7 @@ func (c *Channel) scheduleGroupFetch(loc addrmap.Location, addr int64, ready clo
 	sSlot := c.south.Reserve(ready, c.cmdSlot)
 	cmdArrive := sSlot + c.cmdDelay
 	burstStart := c.bankRead(loc, cmdArrive, k)
+	c.lastCmdAt, c.lastServiceAt = cmdArrive, burstStart
 
 	nSlot := c.north.Reserve(burstStart, c.northTime)
 	dataAt := nSlot + c.northTime + c.hop(loc.DIMM)
@@ -332,6 +342,7 @@ func (c *Channel) ScheduleWrite(addrs []int64, ready clock.Time) clock.Time {
 	wrMin := bank.EarliestWrite(cmdArrive)
 	busAt := c.dimmBus[loc.DIMM].Reserve(wrMin+t.TWL, clock.Time(n)*c.burst)
 	wrAt := busAt - t.TWL
+	c.lastCmdAt, c.lastServiceAt = cmdArrive, busAt
 	dataStart := bank.Write(wrAt, clock.Time(n)*c.burst, &c.Counters)
 	c.Counters.ColWrit += int64(n - 1)
 	lastWr := wrAt + clock.Time(n-1)*c.burst
@@ -364,6 +375,23 @@ func (c *Channel) Housekeep(horizon clock.Time) {
 // southbound links (utilization numerators).
 func (c *Channel) LinkBusy() (north, south clock.Time) {
 	return c.north.TotalReserved(), c.south.TotalReserved()
+}
+
+// LastTiming returns the command-arrival and service-start times of the
+// most recent ScheduleRead/ScheduleWrite call. The memtrace recorder uses
+// it to stamp per-stage timestamps; it is meaningless between calls.
+func (c *Channel) LastTiming() (cmdAt, serviceAt clock.Time) {
+	return c.lastCmdAt, c.lastServiceAt
+}
+
+// DIMMBusBusy reports the cumulative reserved time across the channel's
+// per-DIMM DDR2 data buses (the numerator of DIMM-bus utilization).
+func (c *Channel) DIMMBusBusy() clock.Time {
+	var total clock.Time
+	for _, b := range c.dimmBus {
+		total += b.TotalReserved()
+	}
+	return total
 }
 
 func maxTime(a, b clock.Time) clock.Time {

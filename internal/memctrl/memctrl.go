@@ -18,6 +18,7 @@ import (
 	"fbdsim/internal/dram"
 	"fbdsim/internal/fbdchan"
 	"fbdsim/internal/memreq"
+	"fbdsim/internal/memtrace"
 	"fbdsim/internal/stats"
 )
 
@@ -28,6 +29,12 @@ type channelModel interface {
 	// ScheduleWrite handles a batch of writebacks that share one DRAM row.
 	ScheduleWrite(addrs []int64, ready clock.Time) clock.Time
 	Housekeep(horizon clock.Time)
+	// LastTiming reports the command-arrival and service-start instants of
+	// the most recent Schedule* call; the controller copies them into the
+	// request when the memtrace recorder is enabled.
+	LastTiming() (cmdAt, serviceAt clock.Time)
+	// DIMMBusBusy reports cumulative DIMM-side data-bus occupancy.
+	DIMMBusBusy() clock.Time
 }
 
 var (
@@ -84,6 +91,11 @@ type Controller struct {
 	// (arrival to data return); the tail of this distribution is what
 	// stalls ROB heads.
 	LatHist *stats.Histogram
+
+	// rec is the optional memtrace recorder. When nil (the default)
+	// tracing costs a single pointer comparison per completion; every
+	// recorder method is additionally nil-safe.
+	rec *memtrace.Recorder
 }
 
 // New builds the controller for a validated memory configuration.
@@ -121,6 +133,13 @@ func New(cfg *config.Mem) *Controller {
 // Mapper exposes the address mapper (the cache hierarchy aligns addresses
 // with it).
 func (c *Controller) Mapper() *addrmap.Mapper { return c.mapper }
+
+// SetRecorder attaches (or, with nil, detaches) a memtrace recorder. Call
+// before simulation starts; the recorder is not safe for concurrent use.
+func (c *Controller) SetRecorder(r *memtrace.Recorder) { c.rec = r }
+
+// Recorder returns the attached memtrace recorder, if any.
+func (c *Controller) Recorder() *memtrace.Recorder { return c.rec }
 
 // TCK returns the memory clock period driving Tick.
 func (c *Controller) TCK() clock.Time { return c.cfg.DataRate.TCK() }
@@ -192,6 +211,9 @@ func (c *Controller) Tick(now clock.Time) {
 			c.Stats.ReadsDone++
 			c.LatHist.Observe(done.at - req.Arrived)
 		}
+		if c.rec != nil {
+			c.recordEvent(req, done.ch)
+		}
 		if req.OnDone != nil {
 			req.OnDone(req)
 		}
@@ -202,6 +224,83 @@ func (c *Controller) Tick(now clock.Time) {
 			ch.Housekeep(now)
 		}
 	}
+	if c.rec != nil && c.rec.NeedSample(now) {
+		c.rec.Sample(now, c.traceGauges())
+	}
+}
+
+// recordEvent converts a completed request into a memtrace event. Only
+// called while tracing is enabled.
+func (c *Controller) recordEvent(req *memreq.Request, ch int) {
+	loc := c.mapper.Map(req.Addr)
+	created := req.Created
+	if created == 0 || created > req.Arrived {
+		created = req.Arrived
+	}
+	c.rec.Complete(memtrace.Event{
+		ID:         req.ID,
+		Addr:       req.Addr,
+		Core:       req.Core,
+		Write:      req.Kind == memreq.Write,
+		SWPrefetch: req.SWPrefetch,
+		AMBHit:     req.AMBHit,
+		Channel:    ch,
+		DIMM:       loc.DIMM,
+		Bank:       loc.Bank,
+		Created:    created,
+		Arrived:    req.Arrived,
+		Issued:     req.T.Issued,
+		CmdAt:      req.T.CmdAt,
+		ServiceAt:  req.T.Service,
+		Done:       req.Done,
+	})
+}
+
+// traceGauges snapshots the cumulative counters the epoch sampler
+// differences into per-epoch utilizations.
+func (c *Controller) traceGauges() memtrace.Gauges {
+	north, south := c.LinkBusy()
+	g := memtrace.Gauges{
+		QueueDepth:   c.QueuedReads() + c.QueuedWrites(),
+		NorthBusy:    north,
+		SouthBusy:    south,
+		DIMMBusBusy:  c.dimmBusBusy(),
+		ACT:          c.DRAMCounters().ACT,
+		Prefetched:   0,
+		PrefetchHits: 0,
+	}
+	amb := c.AMBStats()
+	g.Prefetched = amb.Prefetched
+	g.PrefetchHits = amb.Hits
+	return g
+}
+
+// dimmBusBusy sums DIMM-side data-bus occupancy across all channels.
+func (c *Controller) dimmBusBusy() clock.Time {
+	var total clock.Time
+	for _, ch := range c.chans {
+		total += ch.DIMMBusBusy()
+	}
+	return total
+}
+
+// ResetTraceMeasurement restarts the recorder's measurement window (no-op
+// without a recorder). The system calls it at the warmup boundary so the
+// trace covers exactly the measured interval.
+func (c *Controller) ResetTraceMeasurement(now clock.Time) {
+	if c.rec == nil {
+		return
+	}
+	c.rec.ResetMeasurement(now, c.traceGauges())
+}
+
+// TraceSummary flushes the trailing epoch and renders the recorder's
+// summary, or nil when tracing is disabled.
+func (c *Controller) TraceSummary(now clock.Time) *memtrace.Summary {
+	if c.rec == nil {
+		return nil
+	}
+	return c.rec.Summarize(now, c.traceGauges())
 }
 
 // issue picks and schedules at most one transaction on channel ch.
@@ -221,7 +320,7 @@ func (c *Controller) issue(ch int, now clock.Time) {
 	if !c.draining[ch] {
 		if req, idx := c.pickRead(ch, now, model); req != nil {
 			c.removeRead(ch, idx)
-			c.startRead(req, model)
+			c.startRead(req, model, now)
 			return
 		}
 		// Work conservation: once the channel is fully quiescent (no
@@ -230,20 +329,20 @@ func (c *Controller) issue(ch int, now clock.Time) {
 		// rather than sitting forever.
 		if len(c.readQ[ch]) == 0 && c.inflight[ch] == 0 {
 			if batch := c.pickWriteBatch(ch, now); len(batch) > 0 {
-				c.startWrites(batch, model)
+				c.startWrites(batch, model, now)
 			}
 		}
 		return
 	}
 	if batch := c.pickWriteBatch(ch, now); len(batch) > 0 {
-		c.startWrites(batch, model)
+		c.startWrites(batch, model, now)
 		return
 	}
 	// Drain mode but no eligible write: fall back to a ready read so the
 	// channel never idles with work available.
 	if req, idx := c.pickRead(ch, now, model); req != nil {
 		c.removeRead(ch, idx)
-		c.startRead(req, model)
+		c.startRead(req, model, now)
 	}
 }
 
@@ -302,10 +401,14 @@ func (c *Controller) removeRead(ch, idx int) {
 	c.readQ[ch] = append(q[:idx], q[idx+1:]...)
 }
 
-func (c *Controller) startRead(req *memreq.Request, model channelModel) {
+func (c *Controller) startRead(req *memreq.Request, model channelModel, now clock.Time) {
 	ready := req.Arrived + c.cfg.CtrlOverhead
 	dataAt, hit := model.ScheduleRead(req.Addr, ready)
 	req.AMBHit = hit
+	if c.rec != nil {
+		req.T.Issued = now
+		req.T.CmdAt, req.T.Service = model.LastTiming()
+	}
 	c.Stats.Reads++
 	if hit {
 		c.Stats.AMBHits++
@@ -315,7 +418,7 @@ func (c *Controller) startRead(req *memreq.Request, model channelModel) {
 	heap.Push(&c.completions, completion{at: dataAt, req: req, ch: ch})
 }
 
-func (c *Controller) startWrites(batch []*memreq.Request, model channelModel) {
+func (c *Controller) startWrites(batch []*memreq.Request, model channelModel, now clock.Time) {
 	ready := batch[0].Arrived + c.cfg.CtrlOverhead
 	addrs := make([]int64, len(batch))
 	for i, req := range batch {
@@ -324,7 +427,15 @@ func (c *Controller) startWrites(batch []*memreq.Request, model channelModel) {
 	doneAt := model.ScheduleWrite(addrs, ready)
 	c.Stats.Writes += int64(len(batch))
 	ch := c.mapper.Map(batch[0].Addr).Channel
+	var cmdAt, serviceAt clock.Time
+	if c.rec != nil {
+		cmdAt, serviceAt = model.LastTiming()
+	}
 	for _, req := range batch {
+		if c.rec != nil {
+			req.T.Issued = now
+			req.T.CmdAt, req.T.Service = cmdAt, serviceAt
+		}
 		c.inflight[ch]++
 		heap.Push(&c.completions, completion{at: doneAt, req: req, ch: ch})
 	}

@@ -6,12 +6,14 @@
 //
 // API:
 //
-//	POST   /v1/jobs          submit {preset, config, benchmarks, seed, ...}
-//	GET    /v1/jobs/{id}     poll one job (results embedded when done)
-//	DELETE /v1/jobs/{id}     cancel; returns the job's final state
-//	GET    /v1/results/{key} direct result-cache lookup by canonical key
-//	GET    /healthz          liveness (503 while shutting down)
-//	GET    /metrics          counter registry as JSON
+//	POST   /v1/jobs               submit {preset, config, benchmarks, seed, trace, ...}
+//	GET    /v1/jobs/{id}          poll one job (results embedded when done)
+//	GET    /v1/jobs/{id}/trace    Chrome trace_event JSON (jobs submitted with trace)
+//	GET    /v1/jobs/{id}/timeline epoch time-series CSV (jobs submitted with trace)
+//	DELETE /v1/jobs/{id}          cancel; returns the job's final state
+//	GET    /v1/results/{key}      direct result-cache lookup by canonical key
+//	GET    /healthz               liveness (503 while shutting down)
+//	GET    /metrics               counter registry as JSON (?format=prom for Prometheus text)
 //
 // Backpressure: when the job queue is full, submissions are refused with
 // HTTP 429 and a Retry-After header. Shutdown stops intake immediately,
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"fbdsim/internal/config"
+	"fbdsim/internal/memtrace"
 	"fbdsim/internal/system"
 	"fbdsim/internal/trace"
 )
@@ -312,6 +315,10 @@ type submitRequest struct {
 	Seed       int64    `json:"seed"`
 	MaxInsts   int64    `json:"max_insts"`
 	Warmup     int64    `json:"warmup_insts"`
+	// Trace enables the memtrace recorder for this job; the trace and
+	// timeline artifacts are then served at /v1/jobs/{id}/trace and
+	// /v1/jobs/{id}/timeline once the job completes.
+	Trace bool `json:"trace"`
 }
 
 // jobView is the JSON rendering of a job.
@@ -332,6 +339,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -381,6 +390,9 @@ func (s *Server) buildConfig(req *submitRequest) (config.Config, error) {
 	}
 	if req.Warmup > 0 {
 		cfg.WarmupInsts = req.Warmup
+	}
+	if req.Trace {
+		cfg.Trace.Enabled = true
 	}
 	if s.opts.MaxInsts > 0 && cfg.MaxInsts > s.opts.MaxInsts {
 		return config.Config{}, fmt.Errorf("max_insts %d exceeds server cap %d", cfg.MaxInsts, s.opts.MaxInsts)
@@ -572,6 +584,60 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.metrics.Registry().WriteProm(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = s.metrics.Registry().WriteJSON(w)
+}
+
+// traceSummary fetches a done job's memtrace summary, writing the error
+// response itself when the artifact is unavailable. Returns nil after an
+// error has been written.
+func (s *Server) traceSummary(w http.ResponseWriter, r *http.Request) *memtrace.Summary {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return nil
+	}
+	j.mu.Lock()
+	state := j.state
+	tr := j.res.Trace
+	j.mu.Unlock()
+	switch {
+	case !state.terminal():
+		writeError(w, http.StatusConflict, "job is %s; artifacts are available once it is done", state)
+		return nil
+	case state != StateDone:
+		writeError(w, http.StatusNotFound, "job %s; no results", state)
+		return nil
+	case tr == nil:
+		writeError(w, http.StatusNotFound, "job ran without tracing; submit with \"trace\": true")
+		return nil
+	}
+	return tr
+}
+
+// handleTrace serves a done job's Chrome trace_event JSON (Perfetto-loadable).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.traceSummary(w, r)
+	if tr == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", "attachment; filename=\"trace.json\"")
+	_ = tr.WriteChromeTrace(w)
+}
+
+// handleTimeline serves a done job's epoch time-series as CSV.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	tr := s.traceSummary(w, r)
+	if tr == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition", "attachment; filename=\"timeline.csv\"")
+	_ = tr.WriteTimelineCSV(w)
 }

@@ -88,3 +88,72 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(obj)
 }
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): one untyped sample per numeric metric, names sanitized
+// to the Prometheus charset, keys in sorted order. Non-numeric metrics
+// (strings, structs) are skipped — Prometheus samples are float64-valued.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	vars := make(map[string]func() any, len(names))
+	for k, v := range r.vars {
+		vars[k] = v
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	for _, name := range names {
+		v, ok := promValue(vars[name]())
+		if !ok {
+			continue
+		}
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s untyped\n%s %s\n", pn, pn, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promValue formats a metric value as a Prometheus sample, or reports that
+// the value is not numeric.
+func promValue(v any) (string, bool) {
+	switch x := v.(type) {
+	case int:
+		return fmt.Sprintf("%d", x), true
+	case int64:
+		return fmt.Sprintf("%d", x), true
+	case uint64:
+		return fmt.Sprintf("%d", x), true
+	case float64:
+		return fmt.Sprintf("%g", x), true
+	case float32:
+		return fmt.Sprintf("%g", x), true
+	case bool:
+		if x {
+			return "1", true
+		}
+		return "0", true
+	default:
+		return "", false
+	}
+}
+
+// promName maps a registry name onto the Prometheus metric charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every other rune with '_'.
+func promName(name string) string {
+	out := []byte(name)
+	for i, c := range out {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			out[i] = '_'
+		}
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}

@@ -53,6 +53,63 @@ func TestRegistryJSON(t *testing.T) {
 	}
 }
 
+func TestRegistryProm(t *testing.T) {
+	reg := &Registry{}
+	jobs := reg.Counter("jobs_done")
+	jobs.Add(7)
+	reg.Func("wall-ms.mean", func() any { return 1.5 }) // needs sanitizing
+	reg.Func("ratio", func() any { return float64(0.25) })
+	reg.Func("label", func() any { return "text" }) // non-numeric: skipped
+	reg.Func("up", func() any { return true })
+
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE jobs_done untyped\njobs_done 7\n",
+		"# TYPE wall_ms_mean untyped\nwall_ms_mean 1.5\n",
+		"ratio 0.25\n",
+		"up 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "label") || strings.Contains(out, "text") {
+		t.Errorf("non-numeric metric must be skipped:\n%s", out)
+	}
+	// Every sample line must match the exposition grammar loosely:
+	// name SP value, with a sanitized name.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+		if strings.ContainsAny(parts[0], "-. ") {
+			t.Errorf("unsanitized metric name %q", parts[0])
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"ok_name":    "ok_name",
+		"has-dash":   "has_dash",
+		"dots.too":   "dots_too",
+		"0leading":   "_leading",
+		"mixed:case": "mixed:case",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 func TestRegistryDuplicatePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

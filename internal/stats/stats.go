@@ -90,9 +90,14 @@ func (h *Histogram) Mean() clock.Time {
 func (h *Histogram) Min() clock.Time { return h.min }
 func (h *Histogram) Max() clock.Time { return h.max }
 
-// Percentile returns an approximation of the p-quantile (0 < p <= 1): the
-// lower bound of the bucket containing the p·n-th observation. With
-// log-linear buckets the approximation is within 12.5% of the true value.
+// Percentile returns an approximation of the p-quantile: the lower bound
+// of the bucket containing the ceil(p·n)-th observation. With log-linear
+// buckets the approximation is within 12.5% of the true value.
+//
+// Edge behavior: an empty histogram returns 0 for every p; p <= 0 returns
+// the exact observed minimum; p >= 1 returns the exact observed maximum.
+// NaN compares false with both bounds and is treated like an interior p
+// (it resolves to the first bucket).
 func (h *Histogram) Percentile(p float64) clock.Time {
 	if h.n == 0 {
 		return 0
@@ -117,24 +122,52 @@ func (h *Histogram) Percentile(p float64) clock.Time {
 	return h.max
 }
 
-// Sub returns a histogram holding the observations in h but not in old
-// (which must be an earlier snapshot of the same histogram). It is how the
-// system measures post-warmup distributions without resetting counters.
+// Sub returns a histogram holding the observations in h but not in old,
+// where old is normally an earlier snapshot of the same histogram. It is
+// how the system measures post-warmup distributions without resetting
+// counters.
+//
+// Sub is tolerant of a mismatched argument: a nil old behaves like an
+// empty snapshot, and any bucket where old exceeds h is clamped to zero
+// (with n and sum recomputed from the clamped buckets) instead of going
+// negative. The result's min/max are conservative bounds derived from the
+// surviving buckets, intersected with h's observed range.
 func (h *Histogram) Sub(old *Histogram) *Histogram {
-	out := &Histogram{
-		n:   h.n - old.n,
-		sum: h.sum - old.sum,
-		min: h.min,
-		max: h.max,
+	if old == nil {
+		return h.Clone()
 	}
+	out := &Histogram{}
+	first, last := -1, -1
 	for i := range h.counts {
-		out.counts[i] = h.counts[i] - old.counts[i]
-		if out.counts[i] < 0 {
-			panic("stats: Sub with a non-snapshot argument")
+		d := h.counts[i] - old.counts[i]
+		if d <= 0 {
+			continue
 		}
+		out.counts[i] = d
+		out.n += d
+		if first < 0 {
+			first = i
+		}
+		last = i
 	}
-	if out.n < 0 {
-		panic("stats: Sub with a non-snapshot argument")
+	if out.n == 0 {
+		return out
+	}
+	if sum := h.sum - old.sum; sum > 0 {
+		out.sum = sum
+	}
+	// Bucket bounds of the surviving mass, tightened by h's exact extremes
+	// when those fall inside them.
+	out.min = bucketLow(first)
+	if h.min > out.min {
+		out.min = h.min
+	}
+	out.max = bucketLow(last + 1)
+	if h.max < out.max {
+		out.max = h.max
+	}
+	if out.max < out.min {
+		out.max = out.min
 	}
 	return out
 }

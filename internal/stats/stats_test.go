@@ -107,15 +107,83 @@ func TestSubSnapshot(t *testing.T) {
 	}
 }
 
-func TestSubMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Sub with a non-snapshot must panic")
-		}
-	}()
+func TestSubMismatchClamps(t *testing.T) {
+	// Sub with a non-snapshot argument must clamp, not go negative or
+	// panic: buckets where old exceeds h contribute nothing.
 	var a, b Histogram
+	a.Observe(100 * ns)
+	b.Observe(10 * ns) // not in a: would drive that bucket negative
 	b.Observe(10 * ns)
-	a.Sub(&b)
+	d := a.Sub(&b)
+	if d.Count() != 1 {
+		t.Fatalf("clamped delta count = %d, want 1", d.Count())
+	}
+	if d.Min() < 0 || d.Max() < d.Min() {
+		t.Errorf("clamped delta range invalid: min=%v max=%v", d.Min(), d.Max())
+	}
+	if p := d.Percentile(0.5); p < 0 {
+		t.Errorf("percentile of clamped delta = %v", p)
+	}
+
+	// Fully-mismatched: everything clamps away, leaving an empty result.
+	var empty Histogram
+	d = empty.Sub(&b)
+	if d.Count() != 0 || d.Mean() != 0 {
+		t.Errorf("empty-minus-nonempty = %+v, want empty", d)
+	}
+}
+
+func TestSubNilOld(t *testing.T) {
+	var h Histogram
+	h.Observe(50 * ns)
+	d := h.Sub(nil)
+	if d.Count() != 1 || d.Mean() != 50*ns {
+		t.Errorf("Sub(nil) = %+v, want clone", d)
+	}
+	d.Observe(60 * ns)
+	if h.Count() != 1 {
+		t.Error("Sub(nil) must return an independent copy")
+	}
+}
+
+func TestSubPreservesExtremes(t *testing.T) {
+	// A genuine snapshot whose delta lies inside h's range: min/max of the
+	// delta must stay within the surviving buckets' bounds.
+	var h Histogram
+	h.Observe(100 * ns)
+	snap := h.Clone()
+	h.Observe(300 * ns)
+	d := h.Sub(snap)
+	if d.Count() != 1 {
+		t.Fatalf("delta count = %d", d.Count())
+	}
+	if d.Max() < d.Min() || d.Max() > 300*ns || d.Min() > 300*ns {
+		t.Errorf("delta extremes min=%v max=%v", d.Min(), d.Max())
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	var empty Histogram
+	for _, p := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Errorf("empty.Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	var h Histogram
+	h.Observe(17 * ns)
+	h.Observe(4000 * ns)
+	if got := h.Percentile(0); got != 17*ns {
+		t.Errorf("p=0 = %v, want exact min 17ns", got)
+	}
+	if got := h.Percentile(-0.5); got != 17*ns {
+		t.Errorf("p<0 = %v, want exact min 17ns", got)
+	}
+	if got := h.Percentile(1); got != 4000*ns {
+		t.Errorf("p=1 = %v, want exact max 4000ns", got)
+	}
+	if got := h.Percentile(1.5); got != 4000*ns {
+		t.Errorf("p>1 = %v, want exact max 4000ns", got)
+	}
 }
 
 func TestRender(t *testing.T) {

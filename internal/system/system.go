@@ -14,6 +14,7 @@ import (
 	"fbdsim/internal/cpu"
 	"fbdsim/internal/dram"
 	"fbdsim/internal/memctrl"
+	"fbdsim/internal/memtrace"
 	"fbdsim/internal/stats"
 	"fbdsim/internal/trace"
 )
@@ -65,6 +66,11 @@ type Results struct {
 	SWPrefetches int64
 	HWPrefetches int64
 	Writebacks   int64
+
+	// Trace is the memtrace summary (per-stage latency breakdowns, epoch
+	// time-series, retained per-request events); nil unless
+	// Config.Trace.Enabled was set.
+	Trace *memtrace.Summary
 }
 
 // L2MissRate returns L2 misses per access.
@@ -126,6 +132,14 @@ func New(cfg config.Config, benchmarks []string) (*System, error) {
 		return nil, err
 	}
 	ctrl := memctrl.New(&cfg.Mem)
+	if cfg.Trace.Enabled {
+		ctrl.SetRecorder(memtrace.New(memtrace.Config{
+			Epoch:     cfg.Trace.Epoch,
+			MaxEvents: cfg.Trace.MaxEvents,
+			Channels:  cfg.Mem.LogicalChannels,
+			DIMMBuses: cfg.Mem.LogicalChannels * cfg.Mem.DIMMsPerChannel,
+		}))
+	}
 	hier := cpu.NewHierarchy(&cfg.CPU, cfg.CPU.Cores, ctrl)
 	// Start from a steady-state L2 so short runs produce representative
 	// eviction/writeback traffic (see PrewarmL2). The dirty fraction
@@ -204,6 +218,9 @@ func (s *System) RunContext(ctx context.Context) (Results, error) {
 			if s.minCommitted() >= s.cfg.WarmupInsts {
 				snap := s.snapshot(cycle)
 				warm = &snap
+				// Restart the trace window so the recorder covers exactly
+				// the measured interval (no-op when tracing is off).
+				s.ctrl.ResetTraceMeasurement(clock.Time(cycle) * clock.CPUCycle)
 			}
 		} else if s.maxDelta(warm) >= s.cfg.MaxInsts {
 			return s.results(warm, cycle), nil
@@ -331,6 +348,7 @@ func (s *System) results(w *snapshot, cycle int64) Results {
 	r.SWPrefetches = end.swPrefetch - w.swPrefetch
 	r.HWPrefetches = end.hwPrefetch - w.hwPrefetch
 	r.Writebacks = end.writebacks - w.writebacks
+	r.Trace = s.ctrl.TraceSummary(clock.Time(cycle) * clock.CPUCycle)
 	return r
 }
 
