@@ -43,18 +43,20 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job execution deadline (0 = none)")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		maxInsts   = flag.Int64("max-insts", 0, "cap on per-job instruction budgets (0 = none)")
+		jobRetries = flag.Int("job-retries", 3, "cap on per-job transient-failure retries clients may request")
 		grace      = flag.Duration("grace", 30*time.Second, "shutdown grace period before in-flight jobs are cancelled")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (opt-in; keep it private)")
 	)
 	flag.Parse()
 
 	sim := simserver.New(simserver.Options{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheSize,
-		JobTimeout:   *jobTimeout,
-		RetryAfter:   *retryAfter,
-		MaxInsts:     *maxInsts,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cacheSize,
+		JobTimeout:    *jobTimeout,
+		RetryAfter:    *retryAfter,
+		MaxInsts:      *maxInsts,
+		MaxJobRetries: *jobRetries,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: sim.Handler()}
 

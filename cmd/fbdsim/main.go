@@ -46,6 +46,13 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of text")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file")
 		tlOut    = flag.String("timeline", "", "write the epoch time-series CSV to this file")
+
+		faultRate    = flag.Float64("fault-rate", 0, "link CRC frame-error rate per transfer, applied to both links (enables fault injection)")
+		faultAMB     = flag.Float64("fault-amb", 0, "AMB-cache soft-error rate per resident-line access (enables fault injection)")
+		faultSeed    = flag.Int64("fault-seed", 1, "fault injector seed (same seed = same faults)")
+		degradedDIMM = flag.Int("degraded-dimm", -1, "run this DIMM of channel 0 degraded (-1 = none; enables fault injection)")
+		degradedBus  = flag.Int("degraded-bus", 2, "degraded DIMM bus slowdown factor")
+		deadBank     = flag.Int("dead-bank", -1, "map out this bank of the degraded DIMM (-1 = none)")
 	)
 	flag.Parse()
 
@@ -91,6 +98,19 @@ func main() {
 			loaded.Trace.Enabled = true
 		}
 		cfg = loaded
+	}
+	// Fault flags layer on top of either the preset or the config file.
+	if *faultRate > 0 || *faultAMB > 0 || *degradedDIMM >= 0 || *deadBank >= 0 {
+		cfg.Fault = config.Fault{
+			Enabled:           true,
+			Seed:              *faultSeed,
+			SouthErrorRate:    *faultRate,
+			NorthErrorRate:    *faultRate,
+			AMBSoftErrorRate:  *faultAMB,
+			DegradedDIMM:      *degradedDIMM,
+			DegradedBusFactor: *degradedBus,
+			DeadBank:          *deadBank,
+		}
 	}
 	if *saveCfg != "" {
 		if err := cfg.SaveFile(*saveCfg); err != nil {
@@ -171,6 +191,12 @@ func main() {
 		fmt.Printf("AMB cache   : %d hits, coverage %.3f, efficiency %.3f\n",
 			res.AMBHits, res.AMB.Coverage(), res.AMB.Efficiency())
 	}
+	if cfg.Fault.Enabled {
+		f := res.Faults
+		fmt.Printf("faults      : %d south + %d north frame errors, %d retries (avg +%.0f ns), %d AMB soft errors, %d remapped\n",
+			f.SouthFrameErrors, f.NorthFrameErrors, f.Retries, f.AvgRetryDelayNS(),
+			f.AMBSoftErrors, f.Remapped)
+	}
 	if *hist && res.LatencyHist != nil {
 		fmt.Printf("\nread latency distribution:\n%s", res.LatencyHist.Render(48))
 	}
@@ -221,6 +247,14 @@ func emitJSON(cfg fbdsim.Config, names []string, res fbdsim.Results) {
 		"ambCoverage":   res.AMB.Coverage(),
 		"ambEfficiency": res.AMB.Efficiency(),
 		"l2MissRate":    res.L2MissRate(),
+	}
+	if cfg.Fault.Enabled {
+		out["faultSouthErrors"] = res.Faults.SouthFrameErrors
+		out["faultNorthErrors"] = res.Faults.NorthFrameErrors
+		out["faultRetries"] = res.Faults.Retries
+		out["faultRetryLatencyNS"] = res.Faults.RetryLatency.Nanoseconds()
+		out["faultAMBSoftErrors"] = res.Faults.AMBSoftErrors
+		out["faultRemapped"] = res.Faults.Remapped
 	}
 	if res.Trace != nil {
 		out["trace"] = res.Trace

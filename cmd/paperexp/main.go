@@ -26,7 +26,7 @@ import (
 func main() {
 	var (
 		all      = flag.Bool("all", false, "run every experiment")
-		fig      = flag.String("fig", "", "comma-separated figure numbers (4-13), 'v1', or extensions 'e1'-'e5'")
+		fig      = flag.String("fig", "", "comma-separated figure numbers (4-13), 'v1', or extensions 'e1'-'e6'")
 		quick    = flag.Bool("quick", false, "use the reduced workload set")
 		insts    = flag.Int64("insts", 300_000, "measured instructions per core per run")
 		warmup   = flag.Int64("warmup", 40_000, "warmup instructions per core per run")
@@ -52,7 +52,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *all {
-		for _, f := range []string{"v1", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "e1", "e2", "e3", "e4", "e5"} {
+		for _, f := range []string{"v1", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "e1", "e2", "e3", "e4", "e5", "e6"} {
 			want[f] = true
 		}
 	}
@@ -95,6 +95,7 @@ func main() {
 		{"e3", runFig(func() (formatter, error) { d, err := exp.ExtensionPermutation(runner); return d, err })},
 		{"e4", runFig(func() (formatter, error) { d, err := exp.ExtensionSeedSensitivity(runner, nil); return d, err })},
 		{"e5", runFig(func() (formatter, error) { d, err := exp.ExtensionDDR3(runner); return d, err })},
+		{"e6", runFig(func() (formatter, error) { d, err := exp.ExtensionFaultSweep(runner); return d, err })},
 	}
 
 	start := time.Now()

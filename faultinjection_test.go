@@ -1,0 +1,196 @@
+package fbdsim
+
+// Property tests for the fault injector (ISSUE 3 acceptance criteria):
+// a zero-rate injector is bit-identical to the uninstrumented simulator,
+// fault runs are deterministic per (config, seed), retry pressure moves
+// tail latency monotonically, and the disabled path costs nothing
+// measurable (mirrors TestTraceOverhead's interleaved guard).
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"fbdsim/internal/config"
+)
+
+// faultConfig is the shared small workload: enough traffic to exercise
+// every injection point without dominating the test suite's runtime.
+func faultConfig(preset string, seed int64) Config {
+	var cfg Config
+	switch preset {
+	case "ddr2":
+		cfg = DDR2Baseline()
+	case "fbd-ap":
+		cfg = WithAMBPrefetch(Default())
+	default:
+		cfg = Default()
+	}
+	cfg.Seed = seed
+	cfg.MaxInsts = 60_000
+	cfg.WarmupInsts = 10_000
+	return cfg
+}
+
+func runFault(tb testing.TB, cfg Config) Results {
+	tb.Helper()
+	res, err := Run(cfg, []string{"swim"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res
+}
+
+// TestFaultZeroRateBitIdentical: enabling the injector with every rate at
+// zero must reproduce the uninstrumented results exactly — same cycles,
+// same latency histogram, same counters — across memory systems and seeds.
+func TestFaultZeroRateBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short")
+	}
+	for _, preset := range []string{"ddr2", "fbd", "fbd-ap"} {
+		for _, seed := range []int64{1, 2} {
+			base := runFault(t, faultConfig(preset, seed))
+
+			cfg := faultConfig(preset, seed)
+			cfg.Fault = config.Fault{Enabled: true, Seed: 99, DegradedDIMM: -1, DeadBank: -1}
+			injected := runFault(t, cfg)
+
+			if !reflect.DeepEqual(base, injected) {
+				t.Errorf("%s seed %d: zero-rate injection changed results:\n  base:     cycles=%d reads=%d avg=%.2f\n  injected: cycles=%d reads=%d avg=%.2f",
+					preset, seed, base.Cycles, base.Reads, base.AvgReadLatencyNS,
+					injected.Cycles, injected.Reads, injected.AvgReadLatencyNS)
+			}
+			if injected.Faults != (base.Faults) {
+				t.Errorf("%s seed %d: zero-rate run booked faults: %+v", preset, seed, injected.Faults)
+			}
+		}
+	}
+}
+
+// TestFaultDeterministic: the same configuration and fault seed reproduce
+// identical results, retry counters included; fault activity is real.
+func TestFaultDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short")
+	}
+	mk := func() Config {
+		cfg := faultConfig("fbd-ap", 1)
+		cfg.Fault = config.Fault{
+			Enabled: true, Seed: 7,
+			SouthErrorRate: 0.05, NorthErrorRate: 0.05, AMBSoftErrorRate: 0.01,
+			DegradedDIMM: -1, DeadBank: -1,
+		}
+		return cfg
+	}
+	a, b := runFault(t, mk()), runFault(t, mk())
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same fault seed diverged:\n  a: %+v\n  b: %+v", a.Faults, b.Faults)
+	}
+	if a.Faults.Retries == 0 || a.Faults.LinkErrors() == 0 {
+		t.Errorf("5%% link error rate produced no retries: %+v", a.Faults)
+	}
+	if a.Faults.AMBSoftErrors == 0 {
+		t.Errorf("1%% AMB soft error rate never fired: %+v", a.Faults)
+	}
+	if a.Faults.RetryLatency <= 0 {
+		t.Errorf("retries booked no latency: %+v", a.Faults)
+	}
+}
+
+// TestFaultP95Monotonic: raising the link error rate must not improve the
+// read latency tail, and substantial error pressure must visibly hurt it.
+func TestFaultP95Monotonic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short")
+	}
+	rates := []float64{0, 0.02, 0.1, 0.3}
+	p95 := make([]float64, len(rates))
+	retries := make([]int64, len(rates))
+	for i, rate := range rates {
+		cfg := faultConfig("fbd-ap", 1)
+		if rate > 0 {
+			cfg.Fault = config.Fault{
+				Enabled: true, Seed: 1,
+				SouthErrorRate: rate, NorthErrorRate: rate,
+				DegradedDIMM: -1, DeadBank: -1,
+			}
+		}
+		res := runFault(t, cfg)
+		if res.LatencyHist == nil {
+			t.Fatal("no latency histogram")
+		}
+		p95[i] = float64(res.LatencyHist.Percentile(0.95))
+		retries[i] = res.Faults.Retries
+	}
+	for i := 1; i < len(rates); i++ {
+		if p95[i] < p95[i-1] {
+			t.Errorf("p95 fell from %.0f to %.0f when the error rate rose %.2f -> %.2f",
+				p95[i-1], p95[i], rates[i-1], rates[i])
+		}
+		if retries[i] <= retries[i-1] {
+			t.Errorf("retries did not grow with the error rate: %v at rates %v", retries, rates)
+		}
+	}
+	if p95[len(p95)-1] <= p95[0] {
+		t.Errorf("30%% link errors left p95 unchanged: %.0f vs %.0f", p95[len(p95)-1], p95[0])
+	}
+}
+
+// TestFaultDegradedDIMMCompletes: a run with a half-speed DIMM and a dead
+// bank completes, remaps real traffic, and is no faster than the healthy
+// system.
+func TestFaultDegradedDIMMCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short")
+	}
+	healthy := runFault(t, faultConfig("fbd-ap", 1))
+
+	cfg := faultConfig("fbd-ap", 1)
+	cfg.Fault = config.Fault{
+		Enabled: true, Seed: 1,
+		DegradedChannel: 0, DegradedDIMM: 0, DegradedBusFactor: 2, DeadBank: 1,
+	}
+	degraded := runFault(t, cfg)
+
+	if degraded.Faults.Remapped == 0 {
+		t.Error("dead bank attracted no traffic; spare remap never exercised")
+	}
+	if degraded.Cycles < healthy.Cycles {
+		t.Errorf("degraded system finished faster than healthy: %d vs %d cycles",
+			degraded.Cycles, healthy.Cycles)
+	}
+}
+
+// TestFaultDisabledOverhead mirrors TestTraceOverhead: with injection
+// disabled the instrumented build must not be meaningfully slower than a
+// run with the injector attached, proving the nil-guard seam costs nothing.
+// Interleaved best-of-5 absorbs background load on shared CI machines.
+func TestFaultDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy; skipped in -short")
+	}
+	once := func(enabled bool) time.Duration {
+		cfg := faultConfig("fbd-ap", 1)
+		if enabled {
+			cfg.Fault = config.Fault{Enabled: true, Seed: 1, SouthErrorRate: 0.01,
+				NorthErrorRate: 0.01, DegradedDIMM: -1, DeadBank: -1}
+		}
+		start := time.Now()
+		runFault(t, cfg)
+		return time.Since(start)
+	}
+	off := time.Duration(1<<62 - 1)
+	on := off
+	for i := 0; i < 5; i++ {
+		if d := once(false); d < off {
+			off = d
+		}
+		if d := once(true); d < on {
+			on = d
+		}
+	}
+	if float64(off) > float64(on)*1.5 {
+		t.Errorf("disabled injection (%v) more than 50%% slower than enabled (%v): the nil-guard path regressed", off, on)
+	}
+}

@@ -44,6 +44,14 @@ type Mapper struct {
 	banks       int64
 	totalBanks  int64
 	regionLines int64
+
+	// Bank sparing (degraded-DIMM fault mode): accesses to one dead
+	// (channel, DIMM, bank) triple are steered onto the next bank of the
+	// same DIMM. Off by default.
+	spareOn   bool
+	spareCh   int
+	spareDIMM int
+	spareBank int
 }
 
 // New builds a Mapper for the memory configuration. The configuration must
@@ -73,8 +81,18 @@ func (m *Mapper) LineAddr(addr int64) int64 {
 // lineIndex returns the global cacheline index of addr.
 func (m *Mapper) lineIndex(addr int64) int64 { return addr >> m.lineShift }
 
-// Map decomposes a physical address into its DRAM location.
+// Map decomposes a physical address into its DRAM location, applying the
+// bank-sparing remap when one is configured.
 func (m *Mapper) Map(addr int64) Location {
+	loc := m.mapRaw(addr)
+	if m.spareOn && loc.Channel == m.spareCh && loc.DIMM == m.spareDIMM && loc.Bank == m.spareBank {
+		loc.Bank = (loc.Bank + 1) % int(m.banks)
+	}
+	return loc
+}
+
+// mapRaw is the interleaving decomposition before bank sparing.
+func (m *Mapper) mapRaw(addr int64) Location {
 	line := m.lineIndex(addr)
 	var loc Location
 	switch m.cfg.Interleave {
@@ -122,6 +140,35 @@ func (m *Mapper) spreadUnits(unit int64) Location {
 		DIMM:    int((unit / m.channels) % m.dimms),
 		Bank:    int((unit / (m.channels * m.dimms)) % m.banks),
 	}
+}
+
+// SetBankSpare maps out one bank: every access the interleaving would send
+// to (channel, dimm, bank) is steered onto the next bank of the same DIMM
+// instead. This is the degraded-DIMM graceful-degradation mode — the
+// simulator carries timing, not data, so the resulting double load on the
+// spare bank is the modelled effect and row/column aliasing between the two
+// banks' address ranges is immaterial. Requires at least two banks per DIMM.
+func (m *Mapper) SetBankSpare(channel, dimm, bank int) {
+	if m.banks < 2 {
+		panic("addrmap: bank sparing requires at least two banks per DIMM")
+	}
+	if channel < 0 || int64(channel) >= m.channels ||
+		dimm < 0 || int64(dimm) >= m.dimms ||
+		bank < 0 || int64(bank) >= m.banks {
+		panic(fmt.Sprintf("addrmap: spare target ch%d/dimm%d/bank%d out of range", channel, dimm, bank))
+	}
+	m.spareOn = true
+	m.spareCh, m.spareDIMM, m.spareBank = channel, dimm, bank
+}
+
+// Remapped reports whether addr's access is being steered away from a dead
+// bank by the configured spare (always false without one).
+func (m *Mapper) Remapped(addr int64) bool {
+	if !m.spareOn {
+		return false
+	}
+	loc := m.mapRaw(addr)
+	return loc.Channel == m.spareCh && loc.DIMM == m.spareDIMM && loc.Bank == m.spareBank
 }
 
 // RegionLines is the prefetch group size K under the current scheme

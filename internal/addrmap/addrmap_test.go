@@ -329,6 +329,61 @@ func TestPermutationPreservesRegionCohesion(t *testing.T) {
 	}
 }
 
+// TestBankSpare: a spared-out bank is never returned for the degraded
+// DIMM, other locations are untouched, and Remapped reports exactly the
+// addresses that moved.
+func TestBankSpare(t *testing.T) {
+	for _, iv := range []config.Interleave{
+		config.CachelineInterleave, config.MultiCachelineInterleave, config.PageInterleave,
+	} {
+		cfg := defaultMem(iv)
+		plain := New(cfg)
+		spared := New(cfg)
+		const deadCh, deadDIMM, deadBank = 0, 1, 2
+		spared.SetBankSpare(deadCh, deadDIMM, deadBank)
+
+		for line := int64(0); line < 1<<14; line++ {
+			addr := line * 64
+			before := plain.Map(addr)
+			after := spared.Map(addr)
+			hit := before.Channel == deadCh && before.DIMM == deadDIMM && before.Bank == deadBank
+			if hit {
+				if after.Bank == deadBank {
+					t.Fatalf("%v: addr %#x still maps to the dead bank", iv, addr)
+				}
+				if after.Channel != before.Channel || after.DIMM != before.DIMM ||
+					after.Row != before.Row || after.Col != before.Col {
+					t.Fatalf("%v: spare remap moved more than the bank: %v vs %v", iv, after, before)
+				}
+			} else if after != before {
+				t.Fatalf("%v: addr %#x off the dead bank changed: %v vs %v", iv, addr, after, before)
+			}
+			if spared.Remapped(addr) != hit {
+				t.Fatalf("%v: Remapped(%#x) = %v, want %v", iv, addr, spared.Remapped(addr), hit)
+			}
+			if plain.Remapped(addr) {
+				t.Fatalf("%v: Remapped must be false without a spare", iv)
+			}
+		}
+	}
+}
+
+func TestBankSparePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	cfg := defaultMem(config.CachelineInterleave)
+	mustPanic("bank out of range", func() { New(cfg).SetBankSpare(0, 0, cfg.BanksPerDIMM) })
+	one := defaultMem(config.CachelineInterleave)
+	one.BanksPerDIMM = 1
+	mustPanic("single bank", func() { New(one).SetBankSpare(0, 0, 0) })
+}
+
 // TestPermutationScattersRowConflicts: addresses that share a bank across
 // consecutive rows without permutation use different banks with it.
 func TestPermutationScattersRowConflicts(t *testing.T) {

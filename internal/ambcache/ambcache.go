@@ -33,6 +33,9 @@ type Stats struct {
 	Evictions int64
 	// Invalidations counts entries dropped because of writes.
 	Invalidations int64
+	// Scrubs counts entries dropped because a soft error poisoned them
+	// (fault injection); the demand access proceeds as a miss.
+	Scrubs int64
 }
 
 // Coverage returns hits/reads, or 0 when no reads occurred.
@@ -58,6 +61,7 @@ func (s *Stats) Add(other Stats) {
 	s.Prefetched += other.Prefetched
 	s.Evictions += other.Evictions
 	s.Invalidations += other.Invalidations
+	s.Scrubs += other.Scrubs
 }
 
 // Cache models one AMB's prefetch buffer. The simulator keeps the instance
@@ -213,6 +217,22 @@ func (c *Cache) Invalidate(lineAddr, localID int64) bool {
 		if set[i].valid && set[i].addr == lineAddr {
 			set[i].valid = false
 			c.Stats.Invalidations++
+			return true
+		}
+	}
+	return false
+}
+
+// Scrub drops the line because a soft error poisoned it: the controller
+// discards its tag so the demand access refetches from DRAM. Distinct from
+// Invalidate only in accounting — scrubs measure fault-induced losses, not
+// coherence traffic. It reports whether the line was resident.
+func (c *Cache) Scrub(lineAddr, localID int64) bool {
+	set := c.data[c.setIndex(localID)]
+	for i := range set {
+		if set[i].valid && set[i].addr == lineAddr {
+			set[i].valid = false
+			c.Stats.Scrubs++
 			return true
 		}
 	}

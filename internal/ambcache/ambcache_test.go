@@ -132,6 +132,35 @@ func TestInvalidate(t *testing.T) {
 	}
 }
 
+// TestScrub: a soft-error scrub removes the line like Invalidate but books
+// the loss separately, so fault sweeps can tell scrubs from demand-hit
+// consumption.
+func TestScrub(t *testing.T) {
+	c := New(4, config.FullAssoc, config.FIFO)
+	fill(c, 1, 2)
+	if !c.Scrub(64, id(64)) {
+		t.Fatal("scrubbing a present line must report true")
+	}
+	if c.Scrub(64, id(64)) {
+		t.Fatal("scrubbing an absent line must report false")
+	}
+	if c.Contains(64, id(64)) {
+		t.Error("scrubbed line still present")
+	}
+	if !c.Contains(2*64, id(2*64)) {
+		t.Error("scrub must not disturb other lines")
+	}
+	if c.Stats.Scrubs != 1 {
+		t.Errorf("Scrubs = %d, want 1", c.Stats.Scrubs)
+	}
+	if c.Stats.Invalidations != 0 {
+		t.Errorf("scrub must not count as an invalidation, got %d", c.Stats.Invalidations)
+	}
+	if c.LookupRead(64, id(64)) {
+		t.Error("scrubbed line must miss on the next demand")
+	}
+}
+
 func TestReset(t *testing.T) {
 	c := New(4, config.FullAssoc, config.FIFO)
 	fill(c, 1, 2, 3)

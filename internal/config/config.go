@@ -289,6 +289,111 @@ type Trace struct {
 	MaxEvents int
 }
 
+// Fault configures the deterministic fault injector (internal/fault).
+// Disabled by default; when disabled the pipeline pays only a nil-pointer
+// check per injection point. Link-error and AMB-soft-error classes apply to
+// FB-DIMM systems only (DDR2 has no CRC/replay protocol); the dead-bank
+// remap applies to both interconnects.
+type Fault struct {
+	// Enabled turns the injector on.
+	Enabled bool
+	// Seed drives every stochastic fault decision; the same seed, rates
+	// and configuration reproduce the exact same faults and results.
+	Seed int64
+
+	// SouthErrorRate / NorthErrorRate are per-transfer CRC frame-error
+	// probabilities on the southbound and northbound links, in [0, 1].
+	SouthErrorRate float64
+	NorthErrorRate float64
+	// AMBSoftErrorRate is the probability that a demand access to a
+	// resident AMB-cache line finds it poisoned (scrub + demand miss).
+	AMBSoftErrorRate float64
+
+	// RetryDelay is the CRC-detect + replay turnaround before a corrupted
+	// transfer re-arbitrates for a link slot; 0 means the default (60 ns,
+	// roughly the round trip the FB-DIMM retry protocol pays).
+	RetryDelay clock.Time
+	// MaxRetries bounds consecutive replays of one transfer; 0 means the
+	// default (8).
+	MaxRetries int
+
+	// DegradedChannel / DegradedDIMM select one DIMM running in degraded
+	// mode. DegradedDIMM < 0 (the Default) means no DIMM is degraded.
+	DegradedChannel int
+	DegradedDIMM    int
+	// DegradedBusFactor divides the degraded DIMM's DDR2 bus rate: each
+	// burst occupies factor× the nominal bus time. 0 means the default (2).
+	DegradedBusFactor int
+	// DeadBank maps out one bank of the degraded DIMM: the address map
+	// respreads its accesses onto a neighbouring bank. -1 (the Default)
+	// means no bank is dead. Requires DegradedDIMM >= 0.
+	DeadBank int
+}
+
+// RetrySettings returns the effective retry delay and cap, applying the
+// defaults (60 ns, 8) for unset values.
+func (f *Fault) RetrySettings() (delay clock.Time, retries int) {
+	delay, retries = f.RetryDelay, f.MaxRetries
+	if delay == 0 {
+		delay = 60 * clock.Nanosecond
+	}
+	if retries == 0 {
+		retries = 8
+	}
+	return delay, retries
+}
+
+// EffectiveBusFactor returns the degraded-bus slowdown, applying the
+// default (2) when unset.
+func (f *Fault) EffectiveBusFactor() int {
+	if f.DegradedBusFactor == 0 {
+		return 2
+	}
+	return f.DegradedBusFactor
+}
+
+func (f *Fault) validate(m *Mem) error {
+	if !f.Enabled {
+		return nil
+	}
+	for _, r := range []float64{f.SouthErrorRate, f.NorthErrorRate, f.AMBSoftErrorRate} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("config: fault rate %v outside [0, 1]", r)
+		}
+	}
+	if f.RetryDelay < 0 {
+		return errors.New("config: fault retry delay must be non-negative")
+	}
+	if f.MaxRetries < 0 {
+		return errors.New("config: fault max retries must be non-negative")
+	}
+	if f.DegradedBusFactor < 0 {
+		return errors.New("config: degraded bus factor must be non-negative")
+	}
+	if f.DegradedDIMM >= 0 {
+		if f.DegradedChannel < 0 || f.DegradedChannel >= m.LogicalChannels {
+			return fmt.Errorf("config: degraded channel %d outside [0, %d)",
+				f.DegradedChannel, m.LogicalChannels)
+		}
+		if f.DegradedDIMM >= m.DIMMsPerChannel {
+			return fmt.Errorf("config: degraded DIMM %d outside [0, %d)",
+				f.DegradedDIMM, m.DIMMsPerChannel)
+		}
+	}
+	if f.DeadBank >= 0 {
+		if f.DegradedDIMM < 0 {
+			return errors.New("config: dead bank requires a degraded DIMM")
+		}
+		if f.DeadBank >= m.BanksPerDIMM {
+			return fmt.Errorf("config: dead bank %d outside [0, %d)", f.DeadBank, m.BanksPerDIMM)
+		}
+		if m.BanksPerDIMM < 2 {
+			return errors.New("config: mapping out a bank requires at least two banks per DIMM")
+		}
+	}
+	return nil
+}
+
 // Config is the complete simulated-system configuration.
 type Config struct {
 	CPU CPU
@@ -296,6 +401,9 @@ type Config struct {
 
 	// Trace configures the optional memtrace recorder.
 	Trace Trace
+
+	// Fault configures the optional deterministic fault injector.
+	Fault Fault
 
 	// MaxInsts is the per-core commit budget; the simulation stops when
 	// any core commits this many instructions past warmup (the paper
@@ -356,6 +464,8 @@ func Default() Config {
 			AMBCacheAssoc:       FullAssoc,
 			AMBReplacement:      FIFO,
 		},
+		// -1 sentinels: 0 would mean "DIMM 0 / bank 0", not "none".
+		Fault:       Fault{DegradedDIMM: -1, DeadBank: -1},
 		MaxInsts:    1_000_000,
 		WarmupInsts: 100_000,
 		Seed:        1,
@@ -426,6 +536,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Trace.MaxEvents < 0 {
 		return errors.New("config: trace MaxEvents must be non-negative")
+	}
+	if err := c.Fault.validate(&c.Mem); err != nil {
+		return err
 	}
 	return c.Mem.validate()
 }

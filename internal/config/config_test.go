@@ -192,6 +192,100 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+func TestFaultDefaults(t *testing.T) {
+	f := Default().Fault
+	if f.Enabled {
+		t.Error("fault injection must default off")
+	}
+	if f.DegradedDIMM != -1 || f.DeadBank != -1 {
+		t.Errorf("degraded sentinels = %d/%d, want -1/-1 (0 is a valid index)",
+			f.DegradedDIMM, f.DeadBank)
+	}
+	delay, max := f.RetrySettings()
+	if delay != 60*clock.Nanosecond || max != 8 {
+		t.Errorf("RetrySettings = %v/%d, want 60ns/8", delay, max)
+	}
+	if f.EffectiveBusFactor() != 2 {
+		t.Errorf("EffectiveBusFactor = %d, want 2", f.EffectiveBusFactor())
+	}
+}
+
+func TestFaultValidateRejects(t *testing.T) {
+	mutate := []struct {
+		name string
+		f    func(*Config)
+		want string
+	}{
+		{"south rate high", func(c *Config) { c.Fault.SouthErrorRate = 1.5 }, "rate"},
+		{"north rate negative", func(c *Config) { c.Fault.NorthErrorRate = -0.1 }, "rate"},
+		{"amb rate high", func(c *Config) { c.Fault.AMBSoftErrorRate = 2 }, "rate"},
+		{"negative retries", func(c *Config) { c.Fault.MaxRetries = -1 }, "retries"},
+		{"negative retry delay", func(c *Config) { c.Fault.RetryDelay = -1 }, "delay"},
+		{"degraded dimm range", func(c *Config) { c.Fault.DegradedDIMM = 4 }, "DIMM"},
+		{"degraded channel range", func(c *Config) { c.Fault.DegradedChannel = 2; c.Fault.DegradedDIMM = 0 }, "channel"},
+		{"bus factor", func(c *Config) { c.Fault.DegradedDIMM = 0; c.Fault.DegradedBusFactor = -2 }, "factor"},
+		{"dead bank needs dimm", func(c *Config) { c.Fault.DeadBank = 1 }, "degraded DIMM"},
+		{"dead bank range", func(c *Config) { c.Fault.DegradedDIMM = 0; c.Fault.DeadBank = 4 }, "bank"},
+		{"dead bank single bank", func(c *Config) {
+			c.Mem.BanksPerDIMM = 1
+			c.Fault.DegradedDIMM = 0
+			c.Fault.DeadBank = 0
+		}, "two banks"},
+	}
+	for _, m := range mutate {
+		c := Default()
+		c.Fault.Enabled = true
+		m.f(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", m.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), m.want) {
+			t.Errorf("%s: error %q does not mention %q", m.name, err, m.want)
+		}
+	}
+
+	// A disabled block is not validated: garbage rates are tolerated so
+	// half-edited config files still load with fault injection off.
+	c := Default()
+	c.Fault.SouthErrorRate = 99
+	if err := c.Validate(); err != nil {
+		t.Errorf("disabled fault block must not be validated: %v", err)
+	}
+
+	// And a fully-specified valid block passes.
+	c = Default()
+	c.Fault = Fault{
+		Enabled: true, Seed: 1, SouthErrorRate: 0.01, NorthErrorRate: 0.01,
+		AMBSoftErrorRate: 0.001, DegradedChannel: 1, DegradedDIMM: 2,
+		DegradedBusFactor: 4, DeadBank: 3,
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid fault block rejected: %v", err)
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	orig := Default()
+	orig.Fault = Fault{
+		Enabled: true, Seed: 9, SouthErrorRate: 0.05, NorthErrorRate: 0.02,
+		AMBSoftErrorRate: 0.001, RetryDelay: 90 * clock.Nanosecond, MaxRetries: 4,
+		DegradedChannel: 0, DegradedDIMM: 1, DegradedBusFactor: 2, DeadBank: -1,
+	}
+	var buf strings.Builder
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fault != orig.Fault {
+		t.Errorf("fault block changed in round trip:\n%+v\nvs\n%+v", got.Fault, orig.Fault)
+	}
+}
+
 func TestTotalBanks(t *testing.T) {
 	c := Default()
 	if got := c.Mem.TotalBanks(); got != 2*4*4 {

@@ -162,6 +162,29 @@ type DIMM struct {
 	refEvery clock.Time
 	refBusy  clock.Time
 	refPhase clock.Time
+
+	// busScale is the degraded-mode bus slowdown: every burst occupies
+	// busScale× the nominal DDR2 bus time. 1 (healthy) unless degraded.
+	busScale int
+}
+
+// SetDegradedBus puts the DIMM's DDR2 bus into degraded mode: each data
+// burst occupies factor× its nominal bus time (the fault model for a DIMM
+// whose interface trains down to a reduced rate). factor <= 1 restores the
+// healthy bus.
+func (d *DIMM) SetDegradedBus(factor int) {
+	if factor < 1 {
+		factor = 1
+	}
+	d.busScale = factor
+}
+
+// BusScale returns the bus slowdown factor in effect (1 when healthy).
+func (d *DIMM) BusScale() int {
+	if d.busScale < 1 {
+		return 1
+	}
+	return d.busScale
 }
 
 // SetRefresh enables periodic all-bank refresh: a window of busy every

@@ -161,6 +161,21 @@ func TestDIMMSameBankUsesBankRules(t *testing.T) {
 	}
 }
 
+func TestDegradedBusScale(t *testing.T) {
+	d := NewDIMM(4, config.Table2())
+	if d.BusScale() != 1 {
+		t.Errorf("healthy DIMM BusScale = %d, want 1", d.BusScale())
+	}
+	d.SetDegradedBus(3)
+	if d.BusScale() != 3 {
+		t.Errorf("degraded BusScale = %d, want 3", d.BusScale())
+	}
+	d.SetDegradedBus(0) // factor <= 1 restores the healthy bus
+	if d.BusScale() != 1 {
+		t.Errorf("restored BusScale = %d, want 1", d.BusScale())
+	}
+}
+
 func TestCountersAddAndColumns(t *testing.T) {
 	a := Counters{ACT: 1, PRE: 2, ColRead: 3, ColWrit: 4}
 	b := Counters{ACT: 10, PRE: 20, ColRead: 30, ColWrit: 40}

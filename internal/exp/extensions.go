@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 
+	"fbdsim/internal/clock"
 	"fbdsim/internal/config"
+	"fbdsim/internal/workload"
 )
 
 // ----------------------------------------------------------- Extension E1
@@ -376,4 +378,128 @@ func (d E5Data) CSV(w io.Writer) error {
 			fmt.Sprintf("%.1f", r.APGain2Pct), fmt.Sprintf("%.1f", r.APGain3Pct)})
 	}
 	return writeRecords(w, []string{"cores", "fbd_ddr2", "ap_ddr2", "fbd_ddr3", "ap_ddr3", "ap_gain2_pct", "ap_gain3_pct"}, rows)
+}
+
+// ----------------------------------------------------------- Extension E6
+
+// E6Row is one (link error rate, prefetch degree) point of the fault
+// sweep. K = 0 denotes the FBD baseline without AMB prefetching.
+type E6Row struct {
+	RatePct float64 // per-frame CRC error probability on each link, percent
+	K       int     // prefetch region size; 0 = plain FBD
+	Speedup float64 // mean SMT speedup across the workload set
+	// GainPct is the AMB-prefetching gain over plain FBD at the same
+	// error rate (0 for the baseline rows).
+	GainPct float64
+	// RetriesPerKRead is frame replays per 1000 memory reads.
+	RetriesPerKRead float64
+	// P95NS is the mean post-warmup p95 read latency across workloads.
+	P95NS float64
+}
+
+// E6Data sweeps link error rate against prefetch degree: retried frames
+// re-arbitrate for link slots, so every replay steals exactly the
+// bandwidth headroom that AMB prefetching spends on speculative K-line
+// fills. The sweep quantifies how quickly channel errors erode the
+// prefetching gain, and whether larger K amplifies the erosion.
+type E6Data struct{ Rows []E6Row }
+
+// ExtensionFaultSweep runs E6: error rate {0, 1, 5, 10}% x K {2, 4, 8},
+// FBD vs FBD-AP, with a fixed fault seed so every point is reproducible.
+func ExtensionFaultSweep(r *Runner) (E6Data, error) {
+	var d E6Data
+	withFault := func(cfg config.Config, rate float64) config.Config {
+		cfg.Fault = config.Fault{DegradedDIMM: -1, DeadBank: -1}
+		if rate > 0 {
+			cfg.Fault.Enabled = true
+			cfg.Fault.Seed = 1
+			cfg.Fault.SouthErrorRate = rate
+			cfg.Fault.NorthErrorRate = rate
+		}
+		return cfg
+	}
+	apK := func(k int) config.Config {
+		cfg := config.WithAMBPrefetch(config.Default())
+		cfg.Mem.RegionLines = k
+		return cfg
+	}
+	var ws []workload.Workload
+	for _, g := range r.coreGroups() {
+		ws = append(ws, g.Workloads...)
+	}
+
+	measure := func(cfg config.Config) (E6Row, error) {
+		var row E6Row
+		speedups, err := r.speedupAll(cfg, ws)
+		if err != nil {
+			return row, err
+		}
+		row.Speedup = mean(speedups)
+		var retries, reads int64
+		var p95 float64
+		for _, w := range ws {
+			res, err := r.Run(cfg, w.Benchmarks)
+			if err != nil {
+				return row, err
+			}
+			retries += res.Faults.Retries
+			reads += res.Reads
+			if res.LatencyHist != nil {
+				p95 += float64(res.LatencyHist.Percentile(0.95)) / float64(clock.Nanosecond)
+			}
+		}
+		if reads > 0 {
+			row.RetriesPerKRead = 1000 * float64(retries) / float64(reads)
+		}
+		if len(ws) > 0 {
+			row.P95NS = p95 / float64(len(ws))
+		}
+		return row, nil
+	}
+
+	for _, rate := range []float64{0, 0.01, 0.05, 0.10} {
+		base, err := measure(withFault(config.FBDIMMBaseline(), rate))
+		if err != nil {
+			return d, err
+		}
+		base.RatePct = rate * 100
+		d.Rows = append(d.Rows, base)
+		for _, k := range []int{2, 4, 8} {
+			row, err := measure(withFault(apK(k), rate))
+			if err != nil {
+				return d, err
+			}
+			row.RatePct, row.K = rate*100, k
+			row.GainPct = gainPct(row.Speedup, base.Speedup)
+			d.Rows = append(d.Rows, row)
+		}
+	}
+	return d, nil
+}
+
+// Format writes the extension as a table.
+func (d E6Data) Format(w io.Writer) {
+	fmt.Fprintf(w, "E6  link error rate x prefetch degree (per-frame CRC error probability)\n")
+	fmt.Fprintf(w, "%7s %6s %9s %8s %14s %9s\n",
+		"err%", "K", "speedup", "gain%", "retries/Kread", "p95(ns)")
+	for _, row := range d.Rows {
+		k := "FBD"
+		if row.K > 0 {
+			k = fmt.Sprintf("%d", row.K)
+		}
+		fmt.Fprintf(w, "%7.1f %6s %9.3f %+8.1f %14.1f %9.0f\n",
+			row.RatePct, k, row.Speedup, row.GainPct, row.RetriesPerKRead, row.P95NS)
+	}
+}
+
+// CSV exports the E6 rows.
+func (d E6Data) CSV(w io.Writer) error {
+	rows := make([][]string, 0, len(d.Rows))
+	for _, r := range d.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", r.RatePct), fmt.Sprintf("%d", r.K),
+			fmt.Sprintf("%.3f", r.Speedup), fmt.Sprintf("%.1f", r.GainPct),
+			fmt.Sprintf("%.1f", r.RetriesPerKRead), fmt.Sprintf("%.0f", r.P95NS)})
+	}
+	return writeRecords(w, []string{"err_pct", "k", "speedup", "gain_pct", "retries_per_kread", "p95_ns"}, rows)
 }

@@ -1,0 +1,227 @@
+// Package fault is a deterministic, seeded fault injector for the FB-DIMM
+// pipeline. It models the failure modes the real protocol is built to
+// survive — transient CRC-detected frame errors on the southbound and
+// northbound links (replayed by the memory controller), soft errors in the
+// AMB prefetch buffer (scrubbed and refetched), and a degraded DIMM whose
+// bus runs at reduced rate or has a bank mapped out — so experiments can
+// measure how much of the AMB-prefetch gain survives on an error-prone
+// channel, where retries compete with prefetch fetches for link slots.
+//
+// The injector follows the memtrace recorder's seam contract: the pipeline
+// holds a *Injector that is nil unless fault injection is enabled, every
+// method is nil-safe, and the disabled cost is a single pointer comparison
+// at each injection point.
+//
+// Determinism: each fault class draws from its own counter-based splitmix64
+// stream (stream i hashes seed·class into draw #n), so the same seed and
+// rates always produce the same fault sequence, and enabling one class
+// never shifts another class's stream. Results of a faulty run are exactly
+// reproducible.
+package fault
+
+import (
+	"fbdsim/internal/clock"
+	"fbdsim/internal/config"
+)
+
+// Class identifies an independently-seeded fault stream.
+type Class int
+
+const (
+	// SouthFrame is a CRC-detected error on a southbound command/write
+	// frame; the controller replays the frame after RetryDelay.
+	SouthFrame Class = iota
+	// NorthFrame is a CRC-detected error on a northbound read-data frame;
+	// the controller re-requests the transfer.
+	NorthFrame
+	// AMBSoft is a soft error in an AMB prefetch-buffer entry, detected on
+	// access; the controller scrubs the tag and refetches from DRAM.
+	AMBSoft
+
+	// NumClasses counts the stochastic fault classes.
+	NumClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case SouthFrame:
+		return "south-frame"
+	case NorthFrame:
+		return "north-frame"
+	case AMBSoft:
+		return "amb-soft"
+	default:
+		return "fault-class-?"
+	}
+}
+
+// Counters accumulates injected faults and their cost. All fields are
+// cumulative; post-warmup deltas are taken with Sub.
+type Counters struct {
+	// SouthFrameErrors / NorthFrameErrors count CRC-detected link frame
+	// errors (each forces one replay attempt).
+	SouthFrameErrors int64
+	NorthFrameErrors int64
+	// Retries counts link replays actually performed; RetryLatency is the
+	// total extra link-scheduling delay those replays added.
+	Retries      int64
+	RetryLatency clock.Time
+	// AMBSoftErrors counts poisoned AMB-cache lines detected on access
+	// (each one is scrubbed and serviced as a demand miss).
+	AMBSoftErrors int64
+	// Remapped counts accesses steered away from a dead bank by the
+	// address map's bank-sparing remap.
+	Remapped int64
+}
+
+// Sub returns c - w, the counters accumulated after snapshot w.
+func (c Counters) Sub(w Counters) Counters {
+	return Counters{
+		SouthFrameErrors: c.SouthFrameErrors - w.SouthFrameErrors,
+		NorthFrameErrors: c.NorthFrameErrors - w.NorthFrameErrors,
+		Retries:          c.Retries - w.Retries,
+		RetryLatency:     c.RetryLatency - w.RetryLatency,
+		AMBSoftErrors:    c.AMBSoftErrors - w.AMBSoftErrors,
+		Remapped:         c.Remapped - w.Remapped,
+	}
+}
+
+// LinkErrors returns the total frame errors across both links.
+func (c Counters) LinkErrors() int64 { return c.SouthFrameErrors + c.NorthFrameErrors }
+
+// AvgRetryDelayNS returns the mean extra delay per replay in nanoseconds.
+func (c Counters) AvgRetryDelayNS() float64 {
+	if c.Retries == 0 {
+		return 0
+	}
+	return c.RetryLatency.Nanoseconds() / float64(c.Retries)
+}
+
+// Injector decides, deterministically, which operations fault. The zero
+// pointer is valid and injects nothing.
+type Injector struct {
+	rates [NumClasses]float64
+	seeds [NumClasses]uint64
+	ctr   [NumClasses]uint64
+
+	retryDelay clock.Time
+	maxRetries int
+
+	degChannel int
+	degDIMM    int // -1 = no degraded DIMM
+	degFactor  int
+	deadBank   int // -1 = no dead bank
+
+	// Counters accumulates every injected fault.
+	Counters Counters
+}
+
+// FromConfig builds the injector, or nil when fault injection is disabled
+// (the zero-overhead path). fc must be validated.
+func FromConfig(fc config.Fault) *Injector {
+	if !fc.Enabled {
+		return nil
+	}
+	delay, retries := fc.RetrySettings()
+	in := &Injector{
+		retryDelay: delay,
+		maxRetries: retries,
+		degChannel: fc.DegradedChannel,
+		degDIMM:    fc.DegradedDIMM,
+		degFactor:  fc.EffectiveBusFactor(),
+		deadBank:   fc.DeadBank,
+	}
+	in.rates[SouthFrame] = fc.SouthErrorRate
+	in.rates[NorthFrame] = fc.NorthErrorRate
+	in.rates[AMBSoft] = fc.AMBSoftErrorRate
+	for c := Class(0); c < NumClasses; c++ {
+		// Decorrelate the per-class streams: hashing seed with a
+		// class-specific offset gives each class an independent base key.
+		in.seeds[c] = splitmix64(uint64(fc.Seed) + uint64(c)*0x9e3779b97f4a7c15)
+	}
+	return in
+}
+
+// draw advances class c's stream and reports whether the next event of that
+// class faults.
+func (in *Injector) draw(c Class) bool {
+	rate := in.rates[c]
+	if rate <= 0 {
+		return false
+	}
+	h := splitmix64(in.seeds[c] + in.ctr[c])
+	in.ctr[c]++
+	// 53-bit mantissa gives a uniform in [0, 1).
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// FrameError reports whether the next frame of class c (SouthFrame or
+// NorthFrame) is CRC-corrupted, counting the error when it fires. Nil-safe.
+func (in *Injector) FrameError(c Class) bool {
+	if in == nil || !in.draw(c) {
+		return false
+	}
+	if c == SouthFrame {
+		in.Counters.SouthFrameErrors++
+	} else {
+		in.Counters.NorthFrameErrors++
+	}
+	return true
+}
+
+// AMBSoftError reports whether an AMB-cache access hits a poisoned entry,
+// counting the error when it fires. Callers draw only for resident lines.
+// Nil-safe.
+func (in *Injector) AMBSoftError() bool {
+	if in == nil || !in.draw(AMBSoft) {
+		return false
+	}
+	in.Counters.AMBSoftErrors++
+	return true
+}
+
+// NoteRetry records one link replay and the extra delay it added. Nil-safe.
+func (in *Injector) NoteRetry(delay clock.Time) {
+	if in == nil {
+		return
+	}
+	in.Counters.Retries++
+	in.Counters.RetryLatency += delay
+}
+
+// NoteRemap records one access steered away from a dead bank. Nil-safe.
+func (in *Injector) NoteRemap() {
+	if in == nil {
+		return
+	}
+	in.Counters.Remapped++
+}
+
+// RetryDelay returns the fixed CRC-detect + replay turnaround added before
+// each link replay re-arbitrates for a slot.
+func (in *Injector) RetryDelay() clock.Time { return in.retryDelay }
+
+// MaxRetries bounds consecutive replays of one transfer; past the bound the
+// transfer is assumed delivered (real controllers escalate to a link
+// retrain, which the model folds into the capped replay cost).
+func (in *Injector) MaxRetries() int { return in.maxRetries }
+
+// Degraded returns the degraded-DIMM description: the channel and DIMM
+// (dimm < 0 when no DIMM is degraded), the bus slowdown factor, and the
+// mapped-out bank (deadBank < 0 when no bank is dead).
+func (in *Injector) Degraded() (channel, dimm, factor, deadBank int) {
+	if in == nil {
+		return 0, -1, 1, -1
+	}
+	return in.degChannel, in.degDIMM, in.degFactor, in.deadBank
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche hash whose
+// outputs over sequential inputs pass PractRand; ideal for counter-based
+// deterministic streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"testing"
+
+	"fbdsim/internal/clock"
+	"fbdsim/internal/config"
+)
+
+func enabled(seed int64) config.Fault {
+	return config.Fault{
+		Enabled:          true,
+		Seed:             seed,
+		SouthErrorRate:   0.1,
+		NorthErrorRate:   0.1,
+		AMBSoftErrorRate: 0.1,
+		DegradedDIMM:     -1,
+		DeadBank:         -1,
+	}
+}
+
+func TestFromConfigDisabled(t *testing.T) {
+	if in := FromConfig(config.Fault{}); in != nil {
+		t.Fatalf("disabled config must produce a nil injector, got %+v", in)
+	}
+}
+
+// TestNilSafety: every method of a nil injector is a no-op, the contract
+// the pipeline's zero-overhead seam relies on.
+func TestNilSafety(t *testing.T) {
+	var in *Injector
+	if in.FrameError(SouthFrame) || in.FrameError(NorthFrame) || in.AMBSoftError() {
+		t.Error("nil injector must never fault")
+	}
+	in.NoteRetry(10)
+	in.NoteRemap()
+	if ch, dimm, factor, dead := in.Degraded(); ch != 0 || dimm != -1 || factor != 1 || dead != -1 {
+		t.Errorf("nil Degraded() = (%d, %d, %d, %d), want (0, -1, 1, -1)", ch, dimm, factor, dead)
+	}
+}
+
+// TestDeterminism: two injectors with the same seed produce identical fault
+// sequences; a different seed produces a different one.
+func TestDeterminism(t *testing.T) {
+	const n = 4096
+	seq := func(seed int64) []bool {
+		in := FromConfig(enabled(seed))
+		out := make([]bool, 0, 3*n)
+		for i := 0; i < n; i++ {
+			out = append(out, in.FrameError(SouthFrame), in.FrameError(NorthFrame), in.AMBSoftError())
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical fault sequence")
+	}
+}
+
+// TestClassStreamIndependence: enabling or disabling one class must not
+// shift another class's stream — the property that makes single-class
+// sweeps comparable.
+func TestClassStreamIndependence(t *testing.T) {
+	const n = 2048
+	north := func(fc config.Fault) []bool {
+		in := FromConfig(fc)
+		out := make([]bool, n)
+		for i := range out {
+			// Interleave south draws to prove they cannot perturb north.
+			in.FrameError(SouthFrame)
+			out[i] = in.FrameError(NorthFrame)
+		}
+		return out
+	}
+	both := enabled(3)
+	onlyNorth := enabled(3)
+	onlyNorth.SouthErrorRate = 0
+	a, b := north(both), north(onlyNorth)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("north stream shifted by the south rate at draw %d", i)
+		}
+	}
+}
+
+func TestRates(t *testing.T) {
+	fc := enabled(1)
+	fc.SouthErrorRate, fc.NorthErrorRate, fc.AMBSoftErrorRate = 0, 1, 0.5
+	in := FromConfig(fc)
+	const n = 10000
+	fired := 0
+	for i := 0; i < n; i++ {
+		if in.FrameError(SouthFrame) {
+			t.Fatal("rate-0 class fired")
+		}
+		if !in.FrameError(NorthFrame) {
+			t.Fatal("rate-1 class failed to fire")
+		}
+		if in.AMBSoftError() {
+			fired++
+		}
+	}
+	if frac := float64(fired) / n; frac < 0.45 || frac > 0.55 {
+		t.Errorf("rate-0.5 class fired %.3f of draws, want ~0.5", frac)
+	}
+	if in.Counters.NorthFrameErrors != n {
+		t.Errorf("NorthFrameErrors = %d, want %d", in.Counters.NorthFrameErrors, n)
+	}
+	if in.Counters.AMBSoftErrors != int64(fired) {
+		t.Errorf("AMBSoftErrors = %d, want %d", in.Counters.AMBSoftErrors, fired)
+	}
+}
+
+func TestCountersSub(t *testing.T) {
+	a := Counters{SouthFrameErrors: 10, NorthFrameErrors: 8, Retries: 18,
+		RetryLatency: 1000 * clock.Nanosecond, AMBSoftErrors: 3, Remapped: 5}
+	w := Counters{SouthFrameErrors: 4, NorthFrameErrors: 2, Retries: 6,
+		RetryLatency: 300 * clock.Nanosecond, AMBSoftErrors: 1, Remapped: 2}
+	d := a.Sub(w)
+	want := Counters{SouthFrameErrors: 6, NorthFrameErrors: 6, Retries: 12,
+		RetryLatency: 700 * clock.Nanosecond, AMBSoftErrors: 2, Remapped: 3}
+	if d != want {
+		t.Errorf("Sub = %+v, want %+v", d, want)
+	}
+	if d.LinkErrors() != 12 {
+		t.Errorf("LinkErrors = %d, want 12", d.LinkErrors())
+	}
+	if got := d.AvgRetryDelayNS(); got != 700.0/12 {
+		t.Errorf("AvgRetryDelayNS = %v, want %v", got, 700.0/12)
+	}
+}
+
+func TestRetrySettingsDefaults(t *testing.T) {
+	in := FromConfig(enabled(1))
+	if in.RetryDelay() != 60*clock.Nanosecond {
+		t.Errorf("default retry delay = %v, want 60ns", in.RetryDelay())
+	}
+	if in.MaxRetries() != 8 {
+		t.Errorf("default max retries = %d, want 8", in.MaxRetries())
+	}
+	fc := enabled(1)
+	fc.RetryDelay, fc.MaxRetries = 90*clock.Nanosecond, 2
+	in = FromConfig(fc)
+	if in.RetryDelay() != 90*clock.Nanosecond || in.MaxRetries() != 2 {
+		t.Errorf("explicit retry settings not honoured: %v, %d", in.RetryDelay(), in.MaxRetries())
+	}
+}
+
+func TestDegraded(t *testing.T) {
+	fc := enabled(1)
+	fc.DegradedChannel, fc.DegradedDIMM, fc.DegradedBusFactor, fc.DeadBank = 1, 2, 3, 0
+	in := FromConfig(fc)
+	if ch, dimm, factor, dead := in.Degraded(); ch != 1 || dimm != 2 || factor != 3 || dead != 0 {
+		t.Errorf("Degraded() = (%d, %d, %d, %d), want (1, 2, 3, 0)", ch, dimm, factor, dead)
+	}
+	// Unset factor applies the default.
+	fc.DegradedBusFactor = 0
+	if _, _, factor, _ := FromConfig(fc).Degraded(); factor != 2 {
+		t.Errorf("default degraded bus factor = %d, want 2", factor)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fbdsim/internal/clock"
 	"fbdsim/internal/config"
 	"fbdsim/internal/dram"
+	"fbdsim/internal/fault"
 	"fbdsim/internal/resource"
 )
 
@@ -72,6 +73,11 @@ type Channel struct {
 	// (see LastTiming).
 	lastCmdAt     clock.Time
 	lastServiceAt clock.Time
+
+	// inj is the optional fault injector. When nil (the default) fault
+	// injection costs a single pointer comparison per link reservation;
+	// every injector method is additionally nil-safe.
+	inj *fault.Injector
 }
 
 // New builds the channel model. cfg must be validated; mapper must be built
@@ -118,6 +124,58 @@ func New(cfg *config.Mem, mapper *addrmap.Mapper) *Channel {
 		}
 	}
 	return c
+}
+
+// SetInjector attaches (or, with nil, detaches) a fault injector. Call
+// before simulation starts.
+func (c *Channel) SetInjector(inj *fault.Injector) { c.inj = inj }
+
+// DegradeDIMMBus puts one DIMM's DDR2 bus into degraded mode: every burst
+// occupies factor× its nominal bus time.
+func (c *Channel) DegradeDIMMBus(dimm, factor int) {
+	c.dimms[dimm].SetDegradedBus(factor)
+}
+
+// burstFor returns the per-line DDR2 bus occupancy on dimm, scaled up when
+// the DIMM runs degraded.
+func (c *Channel) burstFor(dimm int) clock.Time {
+	if s := c.dimms[dimm].BusScale(); s > 1 {
+		return c.burst * clock.Time(s)
+	}
+	return c.burst
+}
+
+// northStart returns when the northbound transfer of a read served by dimm
+// may begin, given its DRAM burst starts at burstStart. A healthy DIMM bus
+// is rate-matched with the northbound link, so the AMB cuts the data
+// through; a degraded (slower) bus cannot sustain the link rate, so the AMB
+// buffers the full line before forwarding it.
+func (c *Channel) northStart(dimm int, burstStart clock.Time) clock.Time {
+	if b := c.burstFor(dimm); b > c.burst {
+		return burstStart + b
+	}
+	return burstStart
+}
+
+// reserveWithRetry books dur on a link timeline, then — when fault
+// injection is on — replays CRC-corrupted transfers: each error waits out
+// the detect/turnaround delay and re-arbitrates for a fresh slot, consuming
+// real link bandwidth exactly like the FB-DIMM retry protocol. Replays are
+// capped at the injector's MaxRetries.
+func (c *Channel) reserveWithRetry(tl *resource.Timeline, ready, dur clock.Time, class fault.Class) clock.Time {
+	slot := tl.Reserve(ready, dur)
+	if c.inj == nil {
+		return slot
+	}
+	for n := 0; n < c.inj.MaxRetries(); n++ {
+		if !c.inj.FrameError(class) {
+			break
+		}
+		replay := tl.Reserve(slot+dur+c.inj.RetryDelay(), dur)
+		c.inj.NoteRetry(replay - slot)
+		slot = replay
+	}
+	return slot
 }
 
 // hop returns the total AMB forwarding delay a request to dimm pays.
@@ -181,11 +239,11 @@ func (c *Channel) ScheduleRead(addr int64, ready clock.Time) (dataAt clock.Time,
 	// through to the northbound link as the DDR2 burst streams in (the
 	// two buses are rate-matched), so the northbound transfer begins when
 	// the DRAM burst begins.
-	sSlot := c.south.Reserve(ready, c.cmdSlot)
+	sSlot := c.reserveWithRetry(c.south, ready, c.cmdSlot, fault.SouthFrame)
 	cmdArrive := sSlot + c.cmdDelay
 	burstStart := c.bankRead(loc, cmdArrive, 1)
 	c.lastCmdAt, c.lastServiceAt = cmdArrive, burstStart
-	nSlot := c.north.Reserve(burstStart, c.northTime)
+	nSlot := c.reserveWithRetry(c.north, c.northStart(loc.DIMM, burstStart), c.northTime, fault.NorthFrame)
 	return nSlot + c.northTime + c.hop(loc.DIMM), false
 }
 
@@ -194,7 +252,17 @@ func (c *Channel) ScheduleRead(addr int64, ready clock.Time) (dataAt clock.Time,
 // prefetch hit.
 func (c *Channel) lookupAMB(dimm int, line int64) (clock.Time, bool) {
 	amb := c.ambs[dimm]
-	if amb.LookupRead(line, c.mapper.LocalLineID(line)) {
+	local := c.mapper.LocalLineID(line)
+	// Soft-error injection: a resident line may be found poisoned on
+	// access. The controller scrubs its tag (keeping MC tags and AMB
+	// contents coherent) and the access falls through to a demand miss.
+	// The residency check precedes LookupRead so hit statistics never
+	// count a line the scrub just destroyed.
+	if c.inj != nil && amb.Contains(line, local) && c.inj.AMBSoftError() {
+		amb.Scrub(line, local)
+		delete(c.inflight, line)
+	}
+	if amb.LookupRead(line, local) {
 		if avail, ok := c.inflight[line]; ok {
 			return avail, true
 		}
@@ -209,13 +277,13 @@ func (c *Channel) lookupAMB(dimm int, line int64) (clock.Time, bool) {
 // out the tRCD+tCL it would have spent in the DRAM, isolating the
 // bank-conflict benefit from the latency benefit.
 func (c *Channel) scheduleAMBHit(loc addrmap.Location, ready, avail clock.Time) clock.Time {
-	sSlot := c.south.Reserve(ready, c.cmdSlot)
+	sSlot := c.reserveWithRetry(c.south, ready, c.cmdSlot, fault.SouthFrame)
 	ambReady := maxTime(sSlot+c.cmdDelay, avail)
 	if c.cfg.FullLatencyHits {
 		ambReady += c.cfg.Timing.TRCD + c.cfg.Timing.TCL
 	}
 	c.lastCmdAt, c.lastServiceAt = sSlot+c.cmdDelay, ambReady
-	nSlot := c.north.Reserve(ambReady, c.northTime)
+	nSlot := c.reserveWithRetry(c.north, ambReady, c.northTime, fault.NorthFrame)
 	return nSlot + c.northTime + c.hop(loc.DIMM)
 }
 
@@ -227,20 +295,21 @@ func (c *Channel) scheduleGroupFetch(loc addrmap.Location, addr int64, ready clo
 	group := c.mapper.Group(addr)
 	k := len(group)
 
-	sSlot := c.south.Reserve(ready, c.cmdSlot)
+	sSlot := c.reserveWithRetry(c.south, ready, c.cmdSlot, fault.SouthFrame)
 	cmdArrive := sSlot + c.cmdDelay
 	burstStart := c.bankRead(loc, cmdArrive, k)
 	c.lastCmdAt, c.lastServiceAt = cmdArrive, burstStart
 
-	nSlot := c.north.Reserve(burstStart, c.northTime)
+	nSlot := c.reserveWithRetry(c.north, c.northStart(loc.DIMM, burstStart), c.northTime, fault.NorthFrame)
 	dataAt := nSlot + c.northTime + c.hop(loc.DIMM)
 
 	// The prefetched lines land in the AMB cache one DDR2 burst after
 	// another (line i is fully received (i+1) bursts after the train
 	// starts; the demanded line goes first).
 	amb := c.ambs[loc.DIMM]
+	burst := c.burstFor(loc.DIMM)
 	for i, la := range group[1:] {
-		fillAt := burstStart + clock.Time(i+2)*c.burst
+		fillAt := burstStart + clock.Time(i+2)*burst
 		if evicted, was := amb.InsertPrefetch(la, c.mapper.LocalLineID(la)); was {
 			delete(c.inflight, evicted)
 		}
@@ -275,15 +344,16 @@ func (c *Channel) bankRead(loc addrmap.Location, cmdArrive clock.Time, n int) cl
 		dimm.Activate(loc.Bank, actAt, loc.Row, &c.Counters)
 	}
 
+	burst := c.burstFor(loc.DIMM)
 	rdMin := bank.EarliestRead(cmdArrive)
-	busAt := c.dimmBus[loc.DIMM].Reserve(rdMin+t.TCL, clock.Time(n)*c.burst)
+	busAt := c.dimmBus[loc.DIMM].Reserve(rdMin+t.TCL, clock.Time(n)*burst)
 	rdAt := busAt - t.TCL
-	bank.Read(rdAt, clock.Time(n)*c.burst, &c.Counters)
+	bank.Read(rdAt, clock.Time(n)*burst, &c.Counters)
 	c.Counters.ColRead += int64(n - 1) // remaining pipelined column accesses
 
 	if c.cfg.PageMode == config.ClosePage {
 		// Auto-precharge once the burst train and tRAS allow it.
-		lastRd := rdAt + clock.Time(n-1)*c.burst
+		lastRd := rdAt + clock.Time(n-1)*burst
 		preAt := bank.EarliestPRE(lastRd + t.TRPD)
 		bank.Precharge(preAt, &c.Counters)
 	}
@@ -316,7 +386,9 @@ func (c *Channel) ScheduleWrite(addrs []int64, ready clock.Time) clock.Time {
 	// consumes two of the three slots per frame it occupies.
 	chunks := (c.cfg.LineBytes + 16*c.cfg.GangWidth - 1) / (16 * c.cfg.GangWidth)
 	dur := c.cmdSlot * clock.Time(n+2*n*chunks)
-	sSlot := c.south.Reserve(ready, dur)
+	// A CRC error anywhere in the command+data frame sequence replays the
+	// whole transfer (one injector draw per transfer attempt).
+	sSlot := c.reserveWithRetry(c.south, ready, dur, fault.SouthFrame)
 	cmdArrive := sSlot + dur + c.cmdDelay
 
 	dimm := c.dimms[loc.DIMM]
@@ -339,19 +411,20 @@ func (c *Channel) ScheduleWrite(addrs []int64, ready clock.Time) clock.Time {
 		dimm.Activate(loc.Bank, actAt, loc.Row, &c.Counters)
 	}
 
+	burst := c.burstFor(loc.DIMM)
 	wrMin := bank.EarliestWrite(cmdArrive)
-	busAt := c.dimmBus[loc.DIMM].Reserve(wrMin+t.TWL, clock.Time(n)*c.burst)
+	busAt := c.dimmBus[loc.DIMM].Reserve(wrMin+t.TWL, clock.Time(n)*burst)
 	wrAt := busAt - t.TWL
 	c.lastCmdAt, c.lastServiceAt = cmdArrive, busAt
-	dataStart := bank.Write(wrAt, clock.Time(n)*c.burst, &c.Counters)
+	dataStart := bank.Write(wrAt, clock.Time(n)*burst, &c.Counters)
 	c.Counters.ColWrit += int64(n - 1)
-	lastWr := wrAt + clock.Time(n-1)*c.burst
+	lastWr := wrAt + clock.Time(n-1)*burst
 
 	if c.cfg.PageMode == config.ClosePage {
 		preAt := bank.EarliestPRE(lastWr + t.TWPD)
 		bank.Precharge(preAt, &c.Counters)
 	}
-	return dataStart + clock.Time(n)*c.burst
+	return dataStart + clock.Time(n)*burst
 }
 
 // Housekeep prunes reservation history older than the horizon and drops

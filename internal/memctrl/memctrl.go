@@ -16,6 +16,7 @@ import (
 	"fbdsim/internal/config"
 	"fbdsim/internal/ddrbus"
 	"fbdsim/internal/dram"
+	"fbdsim/internal/fault"
 	"fbdsim/internal/fbdchan"
 	"fbdsim/internal/memreq"
 	"fbdsim/internal/memtrace"
@@ -96,6 +97,11 @@ type Controller struct {
 	// tracing costs a single pointer comparison per completion; every
 	// recorder method is additionally nil-safe.
 	rec *memtrace.Recorder
+
+	// inj is the optional fault injector, shared with the channel models.
+	// When nil (the default) fault injection costs one pointer comparison
+	// per issued transaction.
+	inj *fault.Injector
 }
 
 // New builds the controller for a validated memory configuration.
@@ -140,6 +146,42 @@ func (c *Controller) SetRecorder(r *memtrace.Recorder) { c.rec = r }
 
 // Recorder returns the attached memtrace recorder, if any.
 func (c *Controller) Recorder() *memtrace.Recorder { return c.rec }
+
+// SetInjector attaches (or, with nil, detaches) a fault injector and
+// applies its static degraded-DIMM configuration: the degraded DIMM's bus
+// is slowed and, when a bank is mapped out, the address map's bank spare is
+// armed. Link and AMB fault classes reach only the FB-DIMM channels (DDR2
+// has no CRC/replay protocol); the bank spare applies to both interconnects
+// because it lives in the controller's mapper. Call before simulation
+// starts.
+func (c *Controller) SetInjector(inj *fault.Injector) {
+	c.inj = inj
+	if inj == nil {
+		return
+	}
+	for _, f := range c.fbd {
+		f.SetInjector(inj)
+	}
+	ch, dimm, factor, dead := inj.Degraded()
+	if dimm < 0 {
+		return
+	}
+	if ch < len(c.fbd) {
+		c.fbd[ch].DegradeDIMMBus(dimm, factor)
+	}
+	if dead >= 0 {
+		c.mapper.SetBankSpare(ch, dimm, dead)
+	}
+}
+
+// FaultCounters returns the injector's cumulative counters (zero without
+// an injector).
+func (c *Controller) FaultCounters() fault.Counters {
+	if c.inj == nil {
+		return fault.Counters{}
+	}
+	return c.inj.Counters
+}
 
 // TCK returns the memory clock period driving Tick.
 func (c *Controller) TCK() clock.Time { return c.cfg.DataRate.TCK() }
@@ -402,6 +444,9 @@ func (c *Controller) removeRead(ch, idx int) {
 }
 
 func (c *Controller) startRead(req *memreq.Request, model channelModel, now clock.Time) {
+	if c.inj != nil && c.mapper.Remapped(req.Addr) {
+		c.inj.NoteRemap()
+	}
 	ready := req.Arrived + c.cfg.CtrlOverhead
 	dataAt, hit := model.ScheduleRead(req.Addr, ready)
 	req.AMBHit = hit
@@ -423,6 +468,9 @@ func (c *Controller) startWrites(batch []*memreq.Request, model channelModel, no
 	addrs := make([]int64, len(batch))
 	for i, req := range batch {
 		addrs[i] = req.Addr
+		if c.inj != nil && c.mapper.Remapped(req.Addr) {
+			c.inj.NoteRemap()
+		}
 	}
 	doneAt := model.ScheduleWrite(addrs, ready)
 	c.Stats.Writes += int64(len(batch))

@@ -18,6 +18,8 @@ type Metrics struct {
 	Cancelled *stats.Counter // jobs cancelled before completing
 	Failed    *stats.Counter // jobs that errored
 	Rejected  *stats.Counter // submissions refused with 429 (queue full)
+	Panics    *stats.Counter // simulation panics recovered by the worker pool
+	Retries   *stats.Counter // transient-failure job retries performed
 
 	// Result cache.
 	CacheHits   *stats.Counter // served from cache or coalesced onto a run
@@ -37,6 +39,8 @@ func newMetrics() *Metrics {
 		Cancelled:   reg.Counter("jobs_cancelled"),
 		Failed:      reg.Counter("jobs_failed"),
 		Rejected:    reg.Counter("jobs_rejected"),
+		Panics:      reg.Counter("job_panics"),
+		Retries:     reg.Counter("job_retries"),
 		CacheHits:   reg.Counter("cache_hits"),
 		CacheMisses: reg.Counter("cache_misses"),
 	}

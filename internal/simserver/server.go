@@ -13,11 +13,18 @@
 //	DELETE /v1/jobs/{id}          cancel; returns the job's final state
 //	GET    /v1/results/{key}      direct result-cache lookup by canonical key
 //	GET    /healthz               liveness (503 while shutting down)
+//	GET    /readyz                readiness (503 when the queue is saturated or shutdown began)
 //	GET    /metrics               counter registry as JSON (?format=prom for Prometheus text)
 //
 // Backpressure: when the job queue is full, submissions are refused with
 // HTTP 429 and a Retry-After header. Shutdown stops intake immediately,
 // drains in-flight jobs for a grace period, then cancels survivors.
+//
+// Resilience: a panic inside a simulation run is recovered by the worker —
+// the job fails with the panic message, the pool survives. Jobs submitted
+// with "retries": N re-run transient failures up to N times (capped by the
+// server) with exponential backoff; panics, cancellations and deadline
+// expiries are never retried.
 package simserver
 
 import (
@@ -59,6 +66,15 @@ type Options struct {
 	// MaxInsts caps the per-job instruction budget a client may request;
 	// 0 means no cap.
 	MaxInsts int64
+	// MaxJobRetries caps the per-job transient-failure retries a client
+	// may request with the submit body's "retries" field (default 3).
+	// Jobs retry only when they ask to; panics, cancellations and
+	// deadline expiries are never retried.
+	MaxJobRetries int
+	// RetryBackoff is the first retry's delay, doubled per attempt
+	// (default 50ms); RetryBackoffMax caps the doubling (default 2s).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 	// Run overrides the simulation function (tests).
 	Run RunFunc
 }
@@ -75,6 +91,15 @@ func (o Options) norm() Options {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.MaxJobRetries <= 0 {
+		o.MaxJobRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = 2 * time.Second
 	}
 	if o.Run == nil {
 		o.Run = system.RunWorkloadContext
@@ -105,6 +130,9 @@ type job struct {
 	cfg        config.Config
 	benchmarks []string
 	submitted  time.Time
+	// retries is the client-requested transient-failure retry budget,
+	// clamped to Options.MaxJobRetries at submission.
+	retries int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -114,6 +142,7 @@ type job struct {
 	state    State
 	res      system.Results
 	errMsg   string
+	attempts int
 	started  time.Time
 	finished time.Time
 }
@@ -127,6 +156,7 @@ func (j *job) snapshotView(withResults bool) jobView {
 		Key:        j.key,
 		State:      string(j.state),
 		Benchmarks: j.benchmarks,
+		Attempts:   j.attempts,
 		Error:      j.errMsg,
 	}
 	if !j.started.IsZero() && !j.finished.IsZero() {
@@ -231,7 +261,58 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one job and records its outcome.
+// panicError marks a job failure caused by a recovered simulation panic.
+// Panics are deterministic model bugs, never retried.
+type panicError struct{ msg string }
+
+func (e *panicError) Error() string { return e.msg }
+
+// retryable reports whether a failed attempt may be retried: cancellation,
+// deadline expiry and panics are final; other errors are treated as
+// transient when the job asked for retries.
+func retryable(err error) bool {
+	var pe *panicError
+	if errors.As(err, &pe) {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// runSim executes one simulation attempt, converting a panic in the
+// simulation into an error so a crashing run fails its job instead of
+// killing the worker (and with it the whole server).
+func (s *Server) runSim(ctx context.Context, j *job) (res system.Results, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.Panics.Inc()
+			res, err = system.Results{}, &panicError{msg: fmt.Sprintf("simulation panicked: %v", r)}
+		}
+	}()
+	j.mu.Lock()
+	j.attempts++
+	j.mu.Unlock()
+	return s.opts.Run(ctx, j.cfg, j.benchmarks)
+}
+
+// sleepBackoff waits out the capped exponential backoff before retry
+// attempt n (1-based); false when ctx was cancelled during the wait.
+func (s *Server) sleepBackoff(ctx context.Context, attempt int) bool {
+	d := s.opts.RetryBackoff << (attempt - 1)
+	if d > s.opts.RetryBackoffMax || d <= 0 {
+		d = s.opts.RetryBackoffMax
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// runJob executes one job — retrying transient failures up to the job's
+// requested budget — and records its outcome.
 func (s *Server) runJob(j *job) {
 	if !j.tryStart() {
 		// Cancelled while queued; cancelJob already finished it.
@@ -247,7 +328,21 @@ func (s *Server) runJob(j *job) {
 		defer cancel()
 	}
 	start := time.Now()
-	res, err := s.opts.Run(ctx, j.cfg, j.benchmarks)
+	var (
+		res system.Results
+		err error
+	)
+	for attempt := 1; ; attempt++ {
+		res, err = s.runSim(ctx, j)
+		if err == nil || attempt > j.retries || !retryable(err) {
+			break
+		}
+		s.metrics.Retries.Inc()
+		if !s.sleepBackoff(ctx, attempt) {
+			err = ctx.Err()
+			break
+		}
+	}
 	wall := time.Since(start)
 
 	s.mu.Lock()
@@ -319,6 +414,10 @@ type submitRequest struct {
 	// timeline artifacts are then served at /v1/jobs/{id}/trace and
 	// /v1/jobs/{id}/timeline once the job completes.
 	Trace bool `json:"trace"`
+	// Retries requests up to this many transient-failure retries (capped
+	// by the server's MaxJobRetries). Cancellations, deadline expiries
+	// and panics are never retried.
+	Retries int `json:"retries"`
 }
 
 // jobView is the JSON rendering of a job.
@@ -329,6 +428,7 @@ type jobView struct {
 	Benchmarks []string        `json:"benchmarks,omitempty"`
 	Coalesced  bool            `json:"coalesced,omitempty"`
 	Cached     bool            `json:"cached,omitempty"`
+	Attempts   int             `json:"attempts,omitempty"`
 	WallMS     float64         `json:"wall_ms,omitempty"`
 	Error      string          `json:"error,omitempty"`
 	Results    *system.Results `json:"results,omitempty"`
@@ -344,6 +444,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -436,7 +537,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Fast path 1: an identical completed run is cached.
 	if res, ok := s.cache.Get(key); ok {
 		id := s.newIDLocked()
-		j := s.newJobLocked(id, key, cfg, req.Benchmarks)
+		j := s.newJobLocked(id, key, cfg, req.Benchmarks, 0)
 		j.finish(StateDone, res, "")
 		j.cancel() // release the job context; nothing will run
 		s.metrics.Accepted.Inc()
@@ -460,7 +561,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Slow path: a fresh simulation must be queued.
 	id := s.newIDLocked()
-	j := s.newJobLocked(id, key, cfg, req.Benchmarks)
+	j := s.newJobLocked(id, key, cfg, req.Benchmarks, req.Retries)
 	select {
 	case s.queue <- j:
 	default:
@@ -486,7 +587,13 @@ func (s *Server) newIDLocked() string {
 }
 
 // newJobLocked creates and registers a job record; caller holds s.mu.
-func (s *Server) newJobLocked(id, key string, cfg config.Config, benchmarks []string) *job {
+func (s *Server) newJobLocked(id, key string, cfg config.Config, benchmarks []string, retries int) *job {
+	if retries < 0 {
+		retries = 0
+	}
+	if retries > s.opts.MaxJobRetries {
+		retries = s.opts.MaxJobRetries
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &job{
 		id:         id,
@@ -494,6 +601,7 @@ func (s *Server) newJobLocked(id, key string, cfg config.Config, benchmarks []st
 		cfg:        cfg,
 		benchmarks: append([]string(nil), benchmarks...),
 		submitted:  time.Now(),
+		retries:    retries,
 		ctx:        ctx,
 		cancel:     cancel,
 		done:       make(chan struct{}),
@@ -581,6 +689,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReady is the load-balancer readiness probe, distinct from liveness:
+// a saturated queue or a begun shutdown answers 503 so routing stops before
+// submissions start bouncing with 429, while /healthz keeps reporting the
+// process alive.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	depth, capacity := len(s.queue), cap(s.queue)
+	switch {
+	case closed:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "shutting down"})
+	case depth >= capacity:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "saturated", "queue_depth": depth, "queue_capacity": capacity})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ready", "queue_depth": depth, "queue_capacity": capacity})
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"fbdsim/internal/config"
 	"fbdsim/internal/cpu"
 	"fbdsim/internal/dram"
+	"fbdsim/internal/fault"
 	"fbdsim/internal/memctrl"
 	"fbdsim/internal/memtrace"
 	"fbdsim/internal/stats"
@@ -59,6 +60,10 @@ type Results struct {
 	DRAM dram.Counters
 	AMB  ambcache.Stats
 
+	// Faults summarizes injected faults and their cost over the measured
+	// window (all zero unless Config.Fault.Enabled was set).
+	Faults fault.Counters
+
 	// L2 behaviour.
 	L2Accesses   int64
 	L2Misses     int64
@@ -98,6 +103,7 @@ type snapshot struct {
 	ctrl       memctrl.Stats
 	dram       dram.Counters
 	amb        ambcache.Stats
+	faults     fault.Counters
 	north      int64
 	south      int64
 	conflicts  int64
@@ -139,6 +145,9 @@ func New(cfg config.Config, benchmarks []string) (*System, error) {
 			Channels:  cfg.Mem.LogicalChannels,
 			DIMMBuses: cfg.Mem.LogicalChannels * cfg.Mem.DIMMsPerChannel,
 		}))
+	}
+	if cfg.Fault.Enabled {
+		ctrl.SetInjector(fault.FromConfig(cfg.Fault))
 	}
 	hier := cpu.NewHierarchy(&cfg.CPU, cfg.CPU.Cores, ctrl)
 	// Start from a steady-state L2 so short runs produce representative
@@ -271,6 +280,7 @@ func (s *System) snapshot(cycle int64) snapshot {
 		ctrl:       s.ctrl.Stats,
 		dram:       s.ctrl.DRAMCounters(),
 		amb:        s.ctrl.AMBStats(),
+		faults:     s.ctrl.FaultCounters(),
 		north:      north,
 		south:      south,
 		conflicts:  s.ctrl.BankConflicts(),
@@ -341,7 +351,9 @@ func (s *System) results(w *snapshot, cycle int64) Results {
 		Prefetched:    end.amb.Prefetched - w.amb.Prefetched,
 		Evictions:     end.amb.Evictions - w.amb.Evictions,
 		Invalidations: end.amb.Invalidations - w.amb.Invalidations,
+		Scrubs:        end.amb.Scrubs - w.amb.Scrubs,
 	}
+	r.Faults = end.faults.Sub(w.faults)
 	r.L2Accesses = end.l2Acc - w.l2Acc
 	r.L2Misses = end.l2Miss - w.l2Miss
 	r.DemandMisses = end.demand - w.demand
