@@ -1,0 +1,95 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so CI can archive benchmark runs as machine-readable
+// artifacts and trend tools do not need to re-parse the textual format.
+//
+// Usage:
+//
+//	go test -bench . -benchmem | benchjson > bench.json
+//
+// Each benchmark result line ("BenchmarkFoo/case-8  10  123 ns/op  ...")
+// becomes one record holding the iteration count and a metric map keyed by
+// unit (ns/op, B/op, allocs/op, and any custom units such as
+// sim-cycles/s). Context lines (goos, goarch, pkg, cpu) are captured into
+// the document header.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Context map[string]string `json:"context,omitempty"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	doc := document{Context: map[string]string{}, Results: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseResult(line); ok {
+				doc.Results = append(doc.Results, r)
+			}
+		default:
+			// "goos: linux" style context lines.
+			for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+				if v, ok := strings.CutPrefix(line, key+": "); ok {
+					doc.Context[key] = strings.TrimSpace(v)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading stdin: %v", err)
+	}
+	if len(doc.Results) == 0 {
+		fatalf("no benchmark result lines found on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// parseResult decodes one "BenchmarkName  iters  value unit  value unit..."
+// line; ok is false for lines that merely start with "Benchmark" (e.g. a
+// wrapped name with the measurements on the next line).
+func parseResult(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

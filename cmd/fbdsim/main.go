@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"fbdsim"
@@ -44,6 +46,8 @@ func main() {
 		vrl      = flag.Bool("vrl", false, "enable variable read latency")
 		hist     = flag.Bool("hist", false, "print the read-latency histogram")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of text")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON (Perfetto-loadable) to this file")
 		tlOut    = flag.String("timeline", "", "write the epoch time-series CSV to this file")
 
@@ -139,9 +143,32 @@ func main() {
 		}
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "fbdsim: CPU profile written to %s\n", *cpuProf)
+		}()
+	}
+
 	res, err := fbdsim.Run(cfg, names)
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *memProf != "" {
+		runtime.GC() // report live heap, not garbage awaiting collection
+		writeArtifact(*memProf, pprof.WriteHeapProfile)
+		fmt.Fprintf(os.Stderr, "fbdsim: heap profile written to %s\n", *memProf)
 	}
 
 	if res.Trace != nil {

@@ -87,6 +87,17 @@ const CPUFrequencyGHz = 4
 // CPUCycle is the CPU clock period (250 ps at 4 GHz).
 const CPUCycle Time = 250 * Picosecond
 
+// CyclesCeil returns the first CPU-cycle index whose time is at or after t
+// (the ceiling of t in CPU cycles). It is the conversion the event-driven
+// system loop uses to turn a component's next-event time into the cycle at
+// which that event must be serviced.
+func CyclesCeil(t Time) int64 {
+	if t <= 0 {
+		return 0
+	}
+	return int64((t + CPUCycle - 1) / CPUCycle)
+}
+
 // CPUCyclesPerTCK returns the integer number of CPU cycles per DRAM clock.
 // Every supported data rate divides evenly (12 at 667, 15 at 533, 10 at 800).
 func CPUCyclesPerTCK(r DataRate) int {

@@ -117,6 +117,104 @@ func (c *Core) Tick(cycle int64) {
 	c.dispatch(cycle)
 }
 
+// waitsExternal is the NextEventCycle sentinel for "blocked until a memory
+// completion callback fires". Completions only fire inside controller
+// ticks, which the system loop schedules from the controller's own
+// next-event query, so a core reporting waitsExternal never needs a wakeup
+// of its own.
+const waitsExternal = int64(1)<<62 - 1
+
+// NextEventCycle reports the earliest cycle at or after next whose Tick
+// could change core state, assuming no memory completion callback fires
+// before then. It returns next itself when the core can make progress
+// immediately, the ROB head's data-ready cycle when commit is the only
+// thing pending, and waitsExternal when the core is fully blocked on the
+// memory system. The estimate is conservative: it may return an earlier
+// cycle than the true next event (costing a wasted tick), never a later
+// one — that is the contract that keeps the fast-forward loop bit-identical
+// to the reference loop.
+func (c *Core) NextEventCycle(next int64) int64 {
+	wake := waitsExternal
+	if c.n > 0 {
+		it := &c.ring[c.head]
+		if it.gapBefore > 0 || !it.hasOp {
+			return next // free-committing instructions (or an empty record) at the head
+		}
+		if it.done {
+			if it.doneCycle <= next {
+				return next // head load's data is ready: commit proceeds
+			}
+			wake = it.doneCycle
+		}
+	}
+	if c.robCount < c.cfg.ROBEntries {
+		if c.gapLeft > 0 || !c.opPending {
+			return next // plain instructions still to dispatch
+		}
+		if c.canDispatchOp() {
+			return next
+		}
+	}
+	return wake
+}
+
+// canDispatchOp mirrors dispatchOp's resource checks without side effects.
+// It must never report false when dispatchOp would succeed (that would let
+// the system skip a dispatch); reporting true when dispatchOp would fail
+// merely costs an extra executed cycle.
+func (c *Core) canDispatchOp() bool {
+	switch c.cur.Op {
+	case trace.Load:
+		if c.lqInUse >= c.cfg.LQEntries {
+			return false
+		}
+		if c.cur.Dep && c.lastLoad != nil && !*c.lastLoad {
+			return false
+		}
+		return c.hier.CanAcceptLoad(c.id, c.cur.Addr)
+	case trace.Store:
+		if c.sqInUse >= c.cfg.SQEntries {
+			return false
+		}
+		return c.hier.CanAcceptStore(c.id, c.cur.Addr)
+	default: // a prefetch (or its NOP stand-in) always dispatches
+		return true
+	}
+}
+
+// AddStallCycles accounts skipped quiescent cycles: the reference loop
+// would have counted each of them as a commit stall while the ROB was
+// non-empty.
+func (c *Core) AddStallCycles(n int64) {
+	if c.n > 0 {
+		c.Stalls += n
+	}
+}
+
+// RetryProbesCache reports whether the core is blocked in the one dispatch
+// state that touches the cache hierarchy every cycle: an op that clears the
+// queue and dependence checks but is refused by the hierarchy (MSHR
+// exhaustion). The reference loop pays a failed L1 and L2 lookup — and
+// their statistics — for each such cycle; the fast-forward loop replays
+// those counts in bulk via Hierarchy.ReplayBlockedProbes. Only meaningful
+// when NextEventCycle did not report immediate progress.
+func (c *Core) RetryProbesCache() bool {
+	if c.robCount >= c.cfg.ROBEntries || c.gapLeft > 0 || !c.opPending {
+		return false
+	}
+	switch c.cur.Op {
+	case trace.Load:
+		if c.lqInUse >= c.cfg.LQEntries {
+			return false
+		}
+		return !(c.cur.Dep && c.lastLoad != nil && !*c.lastLoad)
+	case trace.Store:
+		return c.sqInUse < c.cfg.SQEntries
+	default:
+		return false
+	}
+}
+
 func (c *Core) commit(cycle int64) {
 	budget := c.cfg.IssueWidth
 	before := c.Committed

@@ -50,6 +50,17 @@ type Hierarchy struct {
 	outstanding map[int64]*missEntry
 	unissued    []*missEntry // created but not yet accepted by the controller
 	writebacks  []wbEntry    // dirty victim lines awaiting controller space
+	wbHead      int          // first un-drained writeback (the rest were sent)
+
+	// pool recycles memory transactions and entryFree recycles MSHR
+	// records, so the steady-state miss path allocates nothing. onReadDone
+	// and onWriteDone are the two completion callbacks shared by every
+	// request (built once in NewHierarchy, so issuing a request allocates
+	// no closure).
+	pool        memreq.Pool
+	entryFree   []*missEntry
+	onReadDone  func(*memreq.Request)
+	onWriteDone func(*memreq.Request)
 
 	// hwpf is the optional stream prefetcher trained by demand L2 misses.
 	hwpf *hwprefetch.Prefetcher
@@ -89,6 +100,16 @@ func NewHierarchy(cfg *config.CPU, cores int, mem *memctrl.Controller) *Hierarch
 		}
 		h.hwpf = hwprefetch.New(pc, cfg.LineBytes)
 	}
+	// A read completion resolves its MSHR entry through the outstanding
+	// map (the request address is the entry's line), so one callback
+	// serves every read ever issued.
+	h.onReadDone = func(r *memreq.Request) {
+		e := h.outstanding[r.Addr]
+		done := r.Done
+		h.pool.Put(r)
+		h.complete(e, done)
+	}
+	h.onWriteDone = func(r *memreq.Request) { h.pool.Put(r) }
 	return h
 }
 
@@ -194,7 +215,7 @@ func (h *Hierarchy) prefetchLine(core int, addr int64, counter *int64) {
 		h.DroppedPF++
 		return
 	}
-	e := &missEntry{line: line, core: core, sw: true, created: h.now}
+	e := h.newEntry(line, core, false, true)
 	h.outstanding[line] = e
 	h.l2MSHRInUse++
 	*counter++
@@ -219,7 +240,7 @@ func (h *Hierarchy) startMiss(core int, line int64, dirty, sw bool, onDone func(
 	if h.l2MSHRInUse >= h.cfg.L2MSHRs {
 		return false
 	}
-	e := &missEntry{line: line, core: core, dirty: dirty, sw: sw, created: h.now}
+	e := h.newEntry(line, core, dirty, sw)
 	if onDone != nil {
 		e.waiters = append(e.waiters, onDone)
 	}
@@ -233,20 +254,41 @@ func (h *Hierarchy) startMiss(core int, line int64, dirty, sw bool, onDone func(
 	return true
 }
 
+// newEntry allocates an MSHR record stamped with the current time, reusing
+// a freed one (and its waiters backing array) when available.
+func (h *Hierarchy) newEntry(line int64, core int, dirty, sw bool) *missEntry {
+	if n := len(h.entryFree); n > 0 {
+		e := h.entryFree[n-1]
+		h.entryFree = h.entryFree[:n-1]
+		*e = missEntry{line: line, core: core, dirty: dirty, sw: sw, created: h.now, waiters: e.waiters[:0]}
+		return e
+	}
+	return &missEntry{line: line, core: core, dirty: dirty, sw: sw, created: h.now}
+}
+
+// freeEntry recycles a completed MSHR record. Waiter callbacks are cleared
+// so the free list cannot pin dead closures.
+func (h *Hierarchy) freeEntry(e *missEntry) {
+	for i := range e.waiters {
+		e.waiters[i] = nil
+	}
+	h.entryFree = append(h.entryFree, e)
+}
+
 // issue hands the miss to the memory controller; false means the
 // transaction buffer was full and the entry stays on the unissued list.
 func (h *Hierarchy) issue(e *missEntry) bool {
 	h.reqID++
-	req := &memreq.Request{
-		ID:         h.reqID,
-		Addr:       e.line,
-		Kind:       memreq.Read,
-		Core:       e.core,
-		SWPrefetch: e.sw,
-		Created:    e.created,
-		OnDone:     func(r *memreq.Request) { h.complete(e, r.Done) },
-	}
+	req := h.pool.Get()
+	req.ID = h.reqID
+	req.Addr = e.line
+	req.Kind = memreq.Read
+	req.Core = e.core
+	req.SWPrefetch = e.sw
+	req.Created = e.created
+	req.OnDone = h.onReadDone
 	if !h.mem.Enqueue(req, h.now) {
+		h.pool.Put(req)
 		return false
 	}
 	e.issued = true
@@ -255,7 +297,7 @@ func (h *Hierarchy) issue(e *missEntry) bool {
 
 // complete fills the caches and releases waiters when memory data returns.
 func (h *Hierarchy) complete(e *missEntry, at clock.Time) {
-	doneCycle := int64((at + clock.CPUCycle - 1) / clock.CPUCycle)
+	doneCycle := clock.CyclesCeil(at)
 	delete(h.outstanding, e.line)
 	h.l2MSHRInUse--
 
@@ -273,6 +315,7 @@ func (h *Hierarchy) complete(e *missEntry, at clock.Time) {
 	for _, w := range e.waiters {
 		w(ready)
 	}
+	h.freeEntry(e)
 }
 
 func (h *Hierarchy) fillL1(core int, addr int64, dirty bool) {
@@ -305,19 +348,93 @@ func (h *Hierarchy) Tick(cycle int64, now clock.Time) {
 	}
 	h.unissued = h.unissued[:n]
 
-	for len(h.writebacks) > 0 {
+	for h.wbHead < len(h.writebacks) {
 		h.reqID++
-		wb := h.writebacks[0]
-		req := &memreq.Request{
-			ID:      h.reqID,
-			Addr:    wb.addr,
-			Kind:    memreq.Write,
-			Created: wb.created,
-		}
+		wb := h.writebacks[h.wbHead]
+		req := h.pool.Get()
+		req.ID = h.reqID
+		req.Addr = wb.addr
+		req.Kind = memreq.Write
+		req.Created = wb.created
+		req.OnDone = h.onWriteDone
 		if !h.mem.Enqueue(req, now) {
+			h.pool.Put(req)
 			break
 		}
 		h.WBCount++
-		h.writebacks = h.writebacks[1:]
+		h.wbHead++
 	}
+	if h.wbHead > 0 && h.wbHead == len(h.writebacks) {
+		h.writebacks = h.writebacks[:0]
+		h.wbHead = 0
+	}
+}
+
+// SetNow pins the hierarchy's notion of "now". The fast-forward loop calls
+// it before a controller tick that follows a skipped stretch: in the
+// reference loop h.now still holds the previous cycle's time at that point
+// (Hierarchy.Tick runs after Controller.Tick), and writebacks created by
+// completion callbacks inside the controller tick inherit that stamp.
+// Reproducing it keeps memtrace output bit-identical.
+func (h *Hierarchy) SetNow(now clock.Time) {
+	if now < 0 {
+		now = 0
+	}
+	h.now = now
+}
+
+// Quiescent reports whether a Tick right now would be a no-op: no unissued
+// miss or pending writeback that the controller would currently accept.
+// Entries blocked on a full controller queue do not count — the queue only
+// drains inside a controller tick, and the controller's own next-event
+// query schedules that.
+func (h *Hierarchy) Quiescent() bool {
+	for _, e := range h.unissued {
+		if h.mem.CanAccept(e.line, memreq.Read) {
+			return false
+		}
+	}
+	if h.wbHead < len(h.writebacks) && h.mem.CanAccept(h.writebacks[h.wbHead].addr, memreq.Write) {
+		return false
+	}
+	return true
+}
+
+// canAccept is the side-effect-free twin of Load/Store: would the access
+// succeed this cycle? Hits, coalescing with an outstanding miss, and free
+// MSHRs all accept; only MSHR exhaustion refuses. It must never return
+// false when Load/Store would succeed (the fast-forward contract); false
+// positives merely cost an executed cycle.
+func (h *Hierarchy) canAccept(core int, addr int64) bool {
+	if h.l1[core].Contains(addr) {
+		return true
+	}
+	line := h.l2.LineAddr(addr)
+	if _, ok := h.outstanding[line]; ok {
+		return true
+	}
+	if h.l2.Contains(addr) {
+		return true
+	}
+	return h.l2MSHRInUse < h.cfg.L2MSHRs
+}
+
+// CanAcceptLoad reports whether a load of addr by core would be accepted
+// this cycle (no side effects).
+func (h *Hierarchy) CanAcceptLoad(core int, addr int64) bool { return h.canAccept(core, addr) }
+
+// CanAcceptStore reports whether a store of addr by core would be accepted
+// this cycle (no side effects).
+func (h *Hierarchy) CanAcceptStore(core int, addr int64) bool { return h.canAccept(core, addr) }
+
+// ReplayBlockedProbes credits the cache statistics of n failed dispatch
+// probes by core: each cycle the reference loop spends in the
+// MSHR-exhaustion retry state performs one missing L1 lookup and one
+// missing L2 lookup (no LRU or other state is touched on a miss), so the
+// fast-forward loop adds the counts in bulk for the cycles it skips.
+func (h *Hierarchy) ReplayBlockedProbes(core int, n int64) {
+	h.l1[core].Stats.Accesses += n
+	h.l1[core].Stats.Misses += n
+	h.l2.Stats.Accesses += n
+	h.l2.Stats.Misses += n
 }

@@ -8,8 +8,6 @@
 package memctrl
 
 import (
-	"container/heap"
-
 	"fbdsim/internal/addrmap"
 	"fbdsim/internal/ambcache"
 	"fbdsim/internal/clock"
@@ -79,12 +77,20 @@ type Controller struct {
 	draining []bool
 
 	completions completionHeap
+	// scratchBatch and scratchAddrs are reused across pickWriteBatch /
+	// startWrites calls so the write path allocates nothing in steady
+	// state. Both are dead between issue() calls.
+	scratchBatch []*memreq.Request
+	scratchAddrs []int64
 	// inflight counts issued-but-uncompleted transactions per channel;
 	// leftover writes below the drain threshold flush only when their
 	// channel is fully quiescent, so batching opportunities survive
 	// active phases.
 	inflight []int
-	ticks    int64
+	// housekept is the highest time-derived tick index whose housekeeping
+	// pass has run (see Tick); tck caches the memory clock period.
+	housekept int64
+	tck       clock.Time
 
 	// Stats accumulates controller-level counters.
 	Stats Stats
@@ -108,14 +114,16 @@ type Controller struct {
 func New(cfg *config.Mem) *Controller {
 	m := addrmap.New(cfg)
 	c := &Controller{
-		cfg:      *cfg,
-		mapper:   m,
-		chans:    make([]channelModel, cfg.LogicalChannels),
-		readQ:    make([][]*memreq.Request, cfg.LogicalChannels),
-		writeQ:   make([][]*memreq.Request, cfg.LogicalChannels),
-		draining: make([]bool, cfg.LogicalChannels),
-		inflight: make([]int, cfg.LogicalChannels),
-		LatHist:  &stats.Histogram{},
+		cfg:       *cfg,
+		mapper:    m,
+		chans:     make([]channelModel, cfg.LogicalChannels),
+		readQ:     make([][]*memreq.Request, cfg.LogicalChannels),
+		writeQ:    make([][]*memreq.Request, cfg.LogicalChannels),
+		draining:  make([]bool, cfg.LogicalChannels),
+		inflight:  make([]int, cfg.LogicalChannels),
+		housekept: -1,
+		tck:       cfg.DataRate.TCK(),
+		LatHist:   &stats.Histogram{},
 	}
 	switch cfg.Kind {
 	case config.FBDIMM:
@@ -184,7 +192,7 @@ func (c *Controller) FaultCounters() fault.Counters {
 }
 
 // TCK returns the memory clock period driving Tick.
-func (c *Controller) TCK() clock.Time { return c.cfg.DataRate.TCK() }
+func (c *Controller) TCK() clock.Time { return c.tck }
 
 // CanAccept reports whether the channel serving addr has buffer space for
 // another transaction of the given kind.
@@ -240,11 +248,28 @@ func (c *Controller) Pending() int { return len(c.completions) }
 // transaction per channel and fires completion callbacks whose time has
 // come. Callers invoke it once per tCK with a monotonically increasing now.
 func (c *Controller) Tick(now clock.Time) {
+	// Housekeeping runs after every 4096th memory tick, with the tick
+	// index derived from time rather than from a count of executed Tick
+	// calls: the event-driven loop executes only interesting ticks, and a
+	// pruned timeline is observable to later reservations whose ready
+	// time precedes the prune horizon, so both loops must prune at the
+	// same simulated instants. Boundaries inside a skipped stretch are
+	// caught up here, before this tick issues anything — exactly the
+	// state the reference loop would present, since no reservation can
+	// occur between an end-of-tick housekeep and the next tick.
+	const housekeepTicks = 4096
+	if jm := (int64(now/c.tck)/housekeepTicks)*housekeepTicks - 1; jm > c.housekept {
+		horizon := clock.Time(jm) * c.tck
+		for _, ch := range c.chans {
+			ch.Housekeep(horizon)
+		}
+		c.housekept = jm
+	}
 	for ch := range c.chans {
 		c.issue(ch, now)
 	}
 	for len(c.completions) > 0 && c.completions[0].at <= now {
-		done := heap.Pop(&c.completions).(completion)
+		done := c.popCompletion()
 		c.inflight[done.ch]--
 		req := done.req
 		req.Done = done.at
@@ -258,12 +283,6 @@ func (c *Controller) Tick(now clock.Time) {
 		}
 		if req.OnDone != nil {
 			req.OnDone(req)
-		}
-	}
-	c.ticks++
-	if c.ticks%4096 == 0 {
-		for _, ch := range c.chans {
-			ch.Housekeep(now)
 		}
 	}
 	if c.rec != nil && c.rec.NeedSample(now) {
@@ -424,7 +443,7 @@ func (c *Controller) pickWriteBatch(ch int, now clock.Time) []*memreq.Request {
 		return nil
 	}
 	region := c.mapper.RegionID(head.Addr)
-	batch := []*memreq.Request{head}
+	batch := append(c.scratchBatch[:0], head)
 	n := 0
 	for _, req := range q[1:] {
 		if req != head && c.mapper.RegionID(req.Addr) == region {
@@ -435,6 +454,7 @@ func (c *Controller) pickWriteBatch(ch int, now clock.Time) []*memreq.Request {
 		n++
 	}
 	c.writeQ[ch] = q[:n]
+	c.scratchBatch = batch[:0]
 	return batch
 }
 
@@ -460,12 +480,17 @@ func (c *Controller) startRead(req *memreq.Request, model channelModel, now cloc
 	}
 	ch := c.mapper.Map(req.Addr).Channel
 	c.inflight[ch]++
-	heap.Push(&c.completions, completion{at: dataAt, req: req, ch: ch})
+	c.pushCompletion(completion{at: dataAt, req: req, ch: ch})
 }
 
 func (c *Controller) startWrites(batch []*memreq.Request, model channelModel, now clock.Time) {
 	ready := batch[0].Arrived + c.cfg.CtrlOverhead
-	addrs := make([]int64, len(batch))
+	addrs := c.scratchAddrs
+	if cap(addrs) < len(batch) {
+		addrs = make([]int64, len(batch))
+	} else {
+		addrs = addrs[:len(batch)]
+	}
 	for i, req := range batch {
 		addrs[i] = req.Addr
 		if c.inj != nil && c.mapper.Remapped(req.Addr) {
@@ -473,6 +498,7 @@ func (c *Controller) startWrites(batch []*memreq.Request, model channelModel, no
 		}
 	}
 	doneAt := model.ScheduleWrite(addrs, ready)
+	c.scratchAddrs = addrs[:0]
 	c.Stats.Writes += int64(len(batch))
 	ch := c.mapper.Map(batch[0].Addr).Channel
 	var cmdAt, serviceAt clock.Time
@@ -485,7 +511,7 @@ func (c *Controller) startWrites(batch []*memreq.Request, model channelModel, no
 			req.T.CmdAt, req.T.Service = cmdAt, serviceAt
 		}
 		c.inflight[ch]++
-		heap.Push(&c.completions, completion{at: doneAt, req: req, ch: ch})
+		c.pushCompletion(completion{at: doneAt, req: req, ch: ch})
 	}
 }
 
@@ -559,16 +585,97 @@ type completion struct {
 	ch  int
 }
 
+// completionHeap is a hand-rolled binary min-heap on at. It replaces
+// container/heap, whose interface{} Push/Pop boxes a completion per call —
+// two heap allocations per transaction on the hottest controller path. The
+// sift routines replicate container/heap's algorithm exactly (strict < on
+// at, identical swap order), so equal-time completions pop in the same
+// order the reference implementation produced and simulation results stay
+// bit-identical.
 type completionHeap []completion
 
-func (h completionHeap) Len() int            { return len(h) }
-func (h completionHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
-func (h *completionHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+func (c *Controller) pushCompletion(x completion) {
+	h := append(c.completions, x)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(h[j].at < h[i].at) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	c.completions = h
+}
+
+func (c *Controller) popCompletion() completion {
+	h := c.completions
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j := 2*i + 1 // left child
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].at < h[j].at {
+			j = j2
+		}
+		if !(h[j].at < h[i].at) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	x := h[n]
+	h[n] = completion{} // drop the request pointer so the free slot can't pin it
+	c.completions = h[:n]
 	return x
+}
+
+// NextEventAt reports the earliest simulated time at which a Tick could do
+// something: the next completion, the moment a queued read (or a write the
+// current policy would issue) clears the controller pipeline, or the next
+// memtrace epoch boundary. It returns clock.Infinity when the controller is
+// empty. The estimate is conservative — it may be earlier than the true
+// next state change (the extra tick is a no-op) but never later, which is
+// the contract the event-driven system loop depends on. Queue contents and
+// the drain flag can only change inside executed cycles, so a value
+// computed between cycles stays valid for the whole skipped stretch.
+func (c *Controller) NextEventAt() clock.Time {
+	next := clock.Infinity
+	if len(c.completions) > 0 {
+		next = c.completions[0].at
+	}
+	tck := c.TCK()
+	for ch := range c.chans {
+		// Queues are arrival-ordered, so the head holds the earliest
+		// pipeline-exit time: eligible once Arrived+CtrlOverhead <= now+tCK.
+		if q := c.readQ[ch]; len(q) > 0 {
+			if t := q[0].Arrived + c.cfg.CtrlOverhead - tck; t < next {
+				next = t
+			}
+		}
+		q := c.writeQ[ch]
+		if len(q) == 0 {
+			continue
+		}
+		// A queued write is only an event if the next tick would drain it:
+		// either the channel is (or will flip to) drain mode, or work
+		// conservation applies because nothing else is queued or in flight.
+		// Otherwise writes wait on a completion or a read, both already
+		// counted above.
+		drain := c.draining[ch] || len(q) > c.cfg.WriteDrainThreshold
+		if drain || (len(c.readQ[ch]) == 0 && c.inflight[ch] == 0) {
+			if t := q[0].Arrived + c.cfg.CtrlOverhead - tck; t < next {
+				next = t
+			}
+		}
+	}
+	if c.rec != nil {
+		if t := c.rec.NextSampleAt(); t < next {
+			next = t
+		}
+	}
+	return next
 }

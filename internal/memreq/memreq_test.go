@@ -22,3 +22,53 @@ func TestRequestCallbackPlumbing(t *testing.T) {
 		t.Errorf("callback fired %d times", fired)
 	}
 }
+
+func TestPoolReuseAndZeroing(t *testing.T) {
+	var p Pool
+	r := p.Get()
+	if r == nil || p.Len() != 0 {
+		t.Fatalf("fresh Get: %v, len %d", r, p.Len())
+	}
+	r.ID, r.Addr, r.Kind = 9, 512, Write
+	r.AMBHit, r.Done = true, 42
+	r.OnDone = func(*Request) {}
+	p.Put(r)
+	if p.Len() != 1 {
+		t.Fatalf("len after Put = %d, want 1", p.Len())
+	}
+	q := p.Get()
+	if q != r {
+		t.Fatal("Get did not reuse the pooled request")
+	}
+	// Put must have scrubbed every field: a recycled transaction carrying a
+	// stale callback or timestamp would corrupt the simulation silently.
+	if q.ID != 0 || q.Addr != 0 || q.Kind != Read || q.AMBHit || q.Done != 0 ||
+		q.OnDone != nil || q.T != (Timing{}) {
+		t.Fatalf("reused request not zeroed: %+v", *q)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("len after reuse = %d, want 0", p.Len())
+	}
+}
+
+func TestPoolGrowsUnderLoad(t *testing.T) {
+	var p Pool
+	reqs := make([]*Request, 64)
+	for i := range reqs {
+		reqs[i] = p.Get()
+	}
+	for _, r := range reqs {
+		p.Put(r)
+	}
+	if p.Len() != 64 {
+		t.Fatalf("len = %d, want 64", p.Len())
+	}
+	seen := map[*Request]bool{}
+	for range reqs {
+		r := p.Get()
+		if seen[r] {
+			t.Fatal("pool handed out the same request twice")
+		}
+		seen[r] = true
+	}
+}

@@ -332,6 +332,18 @@ func (r *Recorder) NeedSample(now clock.Time) bool {
 	return r != nil && now >= r.cur.start+r.cfg.Epoch
 }
 
+// NextSampleAt returns the time at which the current epoch ends — the
+// earliest instant NeedSample will report true. The event-driven system
+// loop never fast-forwards past it, so epoch boundaries land on exactly
+// the same memory tick as under the reference tick-every-cycle loop.
+// Nil-safe (Infinity: a disabled recorder never constrains a skip).
+func (r *Recorder) NextSampleAt() clock.Time {
+	if r == nil {
+		return clock.Infinity
+	}
+	return r.cur.start + r.cfg.Epoch
+}
+
 // Sample closes the current epoch at time now using the cumulative gauges
 // g, appends the finished row to the time-series, and opens the next
 // epoch. Nil-safe.

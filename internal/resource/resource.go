@@ -6,7 +6,11 @@
 // hits slip ahead of outstanding DRAM accesses on the northbound link.
 package resource
 
-import "fbdsim/internal/clock"
+import (
+	"sort"
+
+	"fbdsim/internal/clock"
+)
 
 type interval struct {
 	start, end clock.Time // [start, end)
@@ -46,11 +50,10 @@ func (t *Timeline) Reserve(earliest clock.Time, dur clock.Time) clock.Time {
 		panic("resource: reservation duration must be positive")
 	}
 	start := t.align(earliest)
-	i := 0
-	// Skip intervals that end at or before the candidate start.
-	for i < len(t.busy) && t.busy[i].end <= start {
-		i++
-	}
+	// Skip intervals that end at or before the candidate start. Intervals
+	// are sorted and non-overlapping, so their end times are sorted too and
+	// the first candidate can be found by binary search.
+	i := sort.Search(len(t.busy), func(j int) bool { return t.busy[j].end > start })
 	for i < len(t.busy) {
 		if start+dur <= t.busy[i].start {
 			break // fits in the gap before interval i

@@ -20,6 +20,7 @@ type Metrics struct {
 	Rejected  *stats.Counter // submissions refused with 429 (queue full)
 	Panics    *stats.Counter // simulation panics recovered by the worker pool
 	Retries   *stats.Counter // transient-failure job retries performed
+	SimCycles *stats.Counter // simulated CPU cycles across completed jobs
 
 	// Result cache.
 	CacheHits   *stats.Counter // served from cache or coalesced onto a run
@@ -41,6 +42,7 @@ func newMetrics() *Metrics {
 		Rejected:    reg.Counter("jobs_rejected"),
 		Panics:      reg.Counter("job_panics"),
 		Retries:     reg.Counter("job_retries"),
+		SimCycles:   reg.Counter("sim_cycles_total"),
 		CacheHits:   reg.Counter("cache_hits"),
 		CacheMisses: reg.Counter("cache_misses"),
 	}

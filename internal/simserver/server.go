@@ -160,7 +160,11 @@ func (j *job) snapshotView(withResults bool) jobView {
 		Error:      j.errMsg,
 	}
 	if !j.started.IsZero() && !j.finished.IsZero() {
-		v.WallMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		wall := j.finished.Sub(j.started)
+		v.WallMS = float64(wall) / float64(time.Millisecond)
+		if j.state == StateDone && wall > 0 {
+			v.SimCyclesPerSec = float64(j.res.Cycles) / wall.Seconds()
+		}
 	}
 	if withResults && j.state == StateDone {
 		res := j.res
@@ -355,6 +359,7 @@ func (s *Server) runJob(j *job) {
 	case err == nil:
 		s.cache.Put(j.key, res)
 		s.metrics.ObserveWall(wall)
+		s.metrics.SimCycles.Add(res.Cycles)
 		s.metrics.Completed.Inc()
 		j.finish(StateDone, res, "")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -430,6 +435,9 @@ type jobView struct {
 	Cached     bool            `json:"cached,omitempty"`
 	Attempts   int             `json:"attempts,omitempty"`
 	WallMS     float64         `json:"wall_ms,omitempty"`
+	// SimCyclesPerSec is the completed job's simulation throughput:
+	// simulated CPU cycles divided by the attempt's wall time.
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
 	Error      string          `json:"error,omitempty"`
 	Results    *system.Results `json:"results,omitempty"`
 }

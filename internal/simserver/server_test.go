@@ -432,6 +432,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"jobs_rejected", "cache_hits", "cache_misses", "queue_depth",
 		"workers", "workers_busy", "cache_entries",
 		"job_wall_ms_count", "job_wall_ms_mean", "job_wall_ms_max",
+		"sim_cycles_total",
 	} {
 		if _, ok := m[key]; !ok {
 			t.Errorf("metrics missing %q", key)
@@ -498,5 +499,33 @@ func TestPresets(t *testing.T) {
 			t.Errorf("%s: key collides with another preset", preset)
 		}
 		keys[v.Key] = true
+	}
+}
+
+// TestJobThroughputReporting: a completed job reports its simulation
+// throughput (sim cycles / wall second) and feeds the sim_cycles_total
+// counter; unfinished and failed jobs report none.
+func TestJobThroughputReporting(t *testing.T) {
+	run := func(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
+		time.Sleep(5 * time.Millisecond) // guarantee a measurable wall time
+		return system.Results{Benchmarks: benchmarks, Cores: len(benchmarks), Cycles: 2_000_000}, nil
+	}
+	s, ts := newTestServer(t, Options{Workers: 1, Run: run})
+
+	_, v, _ := postJob(t, ts, `{"benchmarks": ["swim"]}`)
+	done := waitState(t, ts, v.ID, StateDone)
+	if done.SimCyclesPerSec <= 0 {
+		t.Fatalf("done job reports sim_cycles_per_sec = %v, want > 0", done.SimCyclesPerSec)
+	}
+	if done.WallMS <= 0 {
+		t.Fatalf("done job reports wall_ms = %v, want > 0", done.WallMS)
+	}
+	// cycles / (wall seconds) must be consistent with the reported wall time.
+	want := 2_000_000 / (done.WallMS / 1000)
+	if ratio := done.SimCyclesPerSec / want; ratio < 0.99 || ratio > 1.01 {
+		t.Fatalf("sim_cycles_per_sec = %v, want about %v", done.SimCyclesPerSec, want)
+	}
+	if got := s.Metrics().SimCycles.Value(); got != 2_000_000 {
+		t.Fatalf("sim_cycles_total = %d, want 2000000", got)
 	}
 }

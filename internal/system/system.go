@@ -7,6 +7,7 @@ package system
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"fbdsim/internal/ambcache"
 	"fbdsim/internal/clock"
@@ -125,6 +126,13 @@ type System struct {
 	hier  *cpu.Hierarchy
 	cores []*cpu.Core
 	ratio int64
+
+	// refLoop forces the tick-every-cycle reference loop instead of the
+	// event-driven fast-forward loop. Settable via the SIM_REFERENCE_LOOP
+	// environment variable (any non-empty value) or SetReferenceLoop; the
+	// two loops produce bit-identical Results, so this exists as an escape
+	// hatch and as the oracle for the equivalence property tests.
+	refLoop bool
 }
 
 // New builds a system running one benchmark per core. The Config's
@@ -157,11 +165,12 @@ func New(cfg config.Config, benchmarks []string) (*System, error) {
 	// the hot set.
 	hier.PrewarmL2(0.35)
 	s := &System{
-		cfg:   cfg,
-		names: append([]string(nil), benchmarks...),
-		ctrl:  ctrl,
-		hier:  hier,
-		ratio: int64(clock.CPUCyclesPerTCK(cfg.Mem.DataRate)),
+		cfg:     cfg,
+		names:   append([]string(nil), benchmarks...),
+		ctrl:    ctrl,
+		hier:    hier,
+		ratio:   int64(clock.CPUCyclesPerTCK(cfg.Mem.DataRate)),
+		refLoop: os.Getenv("SIM_REFERENCE_LOOP") != "",
 	}
 	for i, name := range benchmarks {
 		p, err := trace.ProfileFor(name)
@@ -186,21 +195,44 @@ func (s *System) Run() (Results, error) {
 	return s.RunContext(context.Background())
 }
 
-// RunContext is Run with cancellation: ctx is checked once per cycle batch
-// (1024 CPU cycles, microseconds of wall time), so a cancelled run stops
-// within milliseconds rather than at the instruction budget. On
-// cancellation it returns ctx.Err() and an empty Results.
+// SetReferenceLoop selects (true) or deselects (false) the tick-every-cycle
+// reference loop for subsequent Run/RunContext calls. It exists for the
+// equivalence property tests; production callers use SIM_REFERENCE_LOOP.
+func (s *System) SetReferenceLoop(ref bool) { s.refLoop = ref }
+
+// checkInterval is the cycle batch between boundary checks (cancellation,
+// warmup snapshot, measurement end, progress guard). Both loops use the
+// same interval so snapshots land on identical cycles.
+const checkInterval = int64(1024)
+
+// RunContext is Run with cancellation: ctx is checked at least once per
+// cycle batch (1024 executed CPU cycles) and once per fast-forward skip, so
+// a cancelled run stops within milliseconds of wall time rather than at the
+// instruction budget. On cancellation it returns ctx.Err() and an empty
+// Results.
+//
+// By default the system runs the event-driven loop, which jumps from one
+// machine-wide interesting cycle to the next instead of ticking every CPU
+// cycle; it produces bit-identical Results to the reference loop (see
+// DESIGN.md §9 for the quiescence contract each component provides). Set
+// SIM_REFERENCE_LOOP=1 to force the reference loop.
 func (s *System) RunContext(ctx context.Context) (Results, error) {
+	if s.refLoop {
+		return s.runReference(ctx)
+	}
+	return s.runFast(ctx)
+}
+
+// runReference is the naive loop: every component ticks every CPU cycle.
+// It is the behavioural oracle the fast loop is tested against, and the
+// escape hatch if a model change ever violates a quiescence contract.
+func (s *System) runReference(ctx context.Context) (Results, error) {
 	var (
-		cycle    int64
-		warm     *snapshot
-		interval = int64(1024)
+		cycle int64
+		warm  *snapshot
 	)
 	done := ctx.Done()
-	// Generous progress bound: if the slowest plausible IPC (~0.02/core)
-	// cannot explain the cycle count, something is wedged.
-	budget := s.cfg.WarmupInsts + s.cfg.MaxInsts
-	maxCycles := budget*500 + 1_000_000
+	maxCycles := s.progressBound()
 
 	for {
 		now := clock.Time(cycle) * clock.CPUCycle
@@ -213,7 +245,7 @@ func (s *System) RunContext(ctx context.Context) (Results, error) {
 		}
 		cycle++
 
-		if cycle%interval != 0 {
+		if cycle%checkInterval != 0 {
 			continue
 		}
 		if done != nil {
@@ -235,10 +267,197 @@ func (s *System) RunContext(ctx context.Context) (Results, error) {
 			return s.results(warm, cycle), nil
 		}
 		if cycle > maxCycles {
-			return Results{}, fmt.Errorf("system: no progress after %d cycles (committed %v)",
-				cycle, s.committedNow())
+			return Results{}, s.wedgedError(cycle, maxCycles)
 		}
 	}
+}
+
+// runFast is the event-driven loop. After executing a cycle it asks every
+// component for its next interesting cycle — cores report commit wakeups
+// and dispatchability, the hierarchy reports pending retries the controller
+// would accept, the controller reports completions, pipeline-exit times and
+// epoch boundaries — and jumps straight there when that is in the future.
+// Component estimates are conservative (never later than the true next
+// state change), and a skipped cycle is exactly a cycle in which the
+// reference loop's ticks would all have been no-ops, so the two loops
+// produce bit-identical Results. The only per-skipped-cycle effects the
+// reference loop has — stall accounting and the cache-statistics cost of
+// failed dispatch probes — are replayed in bulk.
+func (s *System) runFast(ctx context.Context) (Results, error) {
+	var (
+		cycle int64
+		warm  *snapshot
+	)
+	done := ctx.Done()
+	maxCycles := s.progressBound()
+	// The reference loop errors out at the first check boundary past
+	// maxCycles; a fully wedged machine fast-forwards straight there.
+	errBoundary := (maxCycles/checkInterval + 1) * checkInterval
+
+	nextCheck := checkInterval // next boundary-check cycle
+	nextTick := int64(0)       // next controller tick cycle (multiple of ratio)
+
+	for {
+		// Boundary bookkeeping, hoisted to the loop top (the reference
+		// loop runs it after incrementing past the boundary — the same
+		// machine state, since the boundary cycle has not executed yet in
+		// either formulation). Hoisting lets a skip land exactly on a
+		// boundary and still perform its checks.
+		if cycle == nextCheck {
+			nextCheck += checkInterval
+			if done != nil {
+				select {
+				case <-done:
+					return Results{}, ctx.Err()
+				default:
+				}
+			}
+			if warm == nil {
+				if s.minCommitted() >= s.cfg.WarmupInsts {
+					snap := s.snapshot(cycle)
+					warm = &snap
+					s.ctrl.ResetTraceMeasurement(clock.Time(cycle) * clock.CPUCycle)
+				}
+			} else if s.maxDelta(warm) >= s.cfg.MaxInsts {
+				return s.results(warm, cycle), nil
+			}
+			if cycle > maxCycles {
+				return Results{}, s.wedgedError(cycle, maxCycles)
+			}
+		}
+
+		now := clock.Time(cycle) * clock.CPUCycle
+		if cycle == nextTick {
+			// In the reference loop the hierarchy's "now" still holds the
+			// previous cycle's time when the controller ticks (Hierarchy
+			// ticks after the controller); writebacks spawned by completion
+			// callbacks inherit that stamp. Reproduce it after skips.
+			s.hier.SetNow(now - clock.CPUCycle)
+			s.ctrl.Tick(now)
+			nextTick += s.ratio
+		}
+		s.hier.Tick(cycle, now)
+		for _, c := range s.cores {
+			c.Tick(cycle)
+		}
+		cycle++
+
+		target := s.nextEventCycle(cycle, nextTick)
+		if target <= cycle {
+			continue
+		}
+		// Never skip a boundary whose condition is already armed: committed
+		// counts are frozen while skipping, so armed-ness cannot change
+		// mid-skip, and the snapshot must land on the same boundary cycle
+		// the reference loop uses.
+		if warm == nil {
+			if target > nextCheck && s.minCommitted() >= s.cfg.WarmupInsts {
+				target = nextCheck
+			}
+		} else if target > nextCheck && s.maxDelta(warm) >= s.cfg.MaxInsts {
+			target = nextCheck
+		}
+		if target > errBoundary {
+			target = errBoundary // a wedged machine jumps straight to the guard
+		}
+		if target <= cycle {
+			continue
+		}
+		// One cancellation check per skip preserves the reference loop's
+		// wall-clock cancellation latency: a skip costs O(cores) work, far
+		// less than the 1024 executed cycles between reference checks.
+		if done != nil {
+			select {
+			case <-done:
+				return Results{}, ctx.Err()
+			default:
+			}
+		}
+		skipped := target - cycle
+		for i, c := range s.cores {
+			c.AddStallCycles(skipped)
+			if c.RetryProbesCache() {
+				s.hier.ReplayBlockedProbes(i, skipped)
+			}
+		}
+		cycle = target
+		nextTick = (cycle + s.ratio - 1) / s.ratio * s.ratio
+		nextCheck = (cycle + checkInterval - 1) / checkInterval * checkInterval
+	}
+}
+
+// nextEventCycle returns the earliest cycle at or after cycle whose
+// execution could change machine state: the minimum over every component's
+// own conservative estimate. nextTick is the next controller tick cycle;
+// controller events round up to it because they can only be serviced inside
+// a tick.
+func (s *System) nextEventCycle(cycle, nextTick int64) int64 {
+	if !s.hier.Quiescent() {
+		return cycle
+	}
+	next := int64(1) << 62
+	for _, c := range s.cores {
+		w := c.NextEventCycle(cycle)
+		if w <= cycle {
+			return cycle
+		}
+		if w < next {
+			next = w
+		}
+	}
+	if at := s.ctrl.NextEventAt(); at < clock.Infinity {
+		tc := (clock.CyclesCeil(at) + s.ratio - 1) / s.ratio * s.ratio
+		if tc < nextTick {
+			tc = nextTick
+		}
+		if tc < next {
+			next = tc
+		}
+	}
+	return next
+}
+
+// progressBound derives the wedge-detection cycle limit from the
+// configuration (replacing a former magic budget*500+1e6 constant): the
+// instruction budget times a worst-case per-instruction cost — a demand
+// miss waiting behind a full transaction buffer of worst-case close-page
+// accesses, each inflated by the retry protocol when fault injection is
+// enabled — floored at the old 500 cycles/instruction, plus fixed slack
+// for warmup transients. It is deliberately generous; tripping it means a
+// model bug, not a slow workload.
+func (s *System) progressBound() int64 {
+	t := s.cfg.Mem.Timing
+	burst := clock.Time(s.cfg.Mem.LineBytes/8) * s.cfg.Mem.DataRate.TCK() / 2
+	access := t.TRP + t.TRCD + t.TCL + burst
+	if s.cfg.Fault.Enabled {
+		delay, retries := s.cfg.Fault.RetrySettings()
+		access += delay * clock.Time(retries)
+	}
+	perInst := s.cfg.Mem.CtrlOverhead + clock.Time(s.cfg.Mem.QueueEntries)*access
+	cyc := int64(perInst / clock.CPUCycle)
+	if cyc < 500 {
+		cyc = 500
+	}
+	budget := s.cfg.WarmupInsts + s.cfg.MaxInsts
+	return budget*cyc + 1_000_000
+}
+
+// wedgedError reports a tripped progress guard, naming the component that
+// looks stuck so the failure is debuggable from the message alone.
+func (s *System) wedgedError(cycle, limit int64) error {
+	suspect := "cores (queues empty and idle, yet instructions are not committing)"
+	if p := s.ctrl.Pending(); p > 0 || s.ctrl.QueuedReads()+s.ctrl.QueuedWrites() > 0 {
+		suspect = fmt.Sprintf("memory controller (%d queued reads, %d queued writes, %d in flight)",
+			s.ctrl.QueuedReads(), s.ctrl.QueuedWrites(), p)
+	} else if m := s.hier.OutstandingMisses(); m > 0 {
+		suspect = fmt.Sprintf("cache hierarchy (%d outstanding misses, none in the controller)", m)
+	}
+	rob := make([]int, len(s.cores))
+	for i, c := range s.cores {
+		rob[i] = c.ROBOccupancy()
+	}
+	return fmt.Errorf("system: no progress after %d cycles (limit %d): suspect %s; committed %v, rob occupancy %v",
+		cycle, limit, suspect, s.committedNow(), rob)
 }
 
 func (s *System) committedNow() []int64 {
