@@ -1,7 +1,7 @@
 // Command fbdserve runs the simulator as an HTTP service: submit
-// simulation jobs, poll or cancel them, and fetch cached results, backed
-// by a bounded worker pool with an LRU result cache (see
-// internal/simserver for the API).
+// simulation jobs or whole parameter sweeps, poll or cancel them, and
+// fetch cached results, backed by a bounded worker pool with a shared
+// single-flight LRU result cache (see internal/simserver for the API).
 //
 // Examples:
 //
@@ -13,6 +13,14 @@
 //	curl localhost:8077/v1/jobs/job-1
 //	curl -X DELETE localhost:8077/v1/jobs/job-1
 //	curl localhost:8077/metrics
+//
+//	curl -X POST localhost:8077/v1/sweeps -d '{
+//	      "name": "prefetch-compare",
+//	      "configs": [{"preset": "fbd"}, {"preset": "fbd-ap"}],
+//	      "workloads": [{"benchmarks": ["swim"]}, {"benchmarks": ["applu"]}],
+//	      "seeds": [1, 2]}'
+//	curl localhost:8077/v1/sweeps/sweep-1
+//	curl localhost:8077/v1/sweeps/sweep-1/results?follow=1
 //
 // On SIGINT/SIGTERM the server stops accepting work, drains in-flight
 // jobs for -grace, then cancels whatever is still running.
@@ -44,19 +52,23 @@ func main() {
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		maxInsts   = flag.Int64("max-insts", 0, "cap on per-job instruction budgets (0 = none)")
 		jobRetries = flag.Int("job-retries", 3, "cap on per-job transient-failure retries clients may request")
+		sweepPar   = flag.Int("sweep-parallel", 0, "cap on per-sweep shard parallelism clients may request (0 = workers)")
+		sweepCap   = flag.Int("max-sweep-points", 0, "cap on the grid size of one sweep submission (0 = 4096)")
 		grace      = flag.Duration("grace", 30*time.Second, "shutdown grace period before in-flight jobs are cancelled")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (opt-in; keep it private)")
 	)
 	flag.Parse()
 
 	sim := simserver.New(simserver.Options{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheEntries:  *cacheSize,
-		JobTimeout:    *jobTimeout,
-		RetryAfter:    *retryAfter,
-		MaxInsts:      *maxInsts,
-		MaxJobRetries: *jobRetries,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		JobTimeout:     *jobTimeout,
+		RetryAfter:     *retryAfter,
+		MaxInsts:       *maxInsts,
+		MaxJobRetries:  *jobRetries,
+		SweepParallel:  *sweepPar,
+		MaxSweepPoints: *sweepCap,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: sim.Handler()}
 

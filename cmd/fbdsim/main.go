@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -160,7 +161,7 @@ func main() {
 		}()
 	}
 
-	res, err := fbdsim.Run(cfg, names)
+	res, err := fbdsim.Run(context.Background(), cfg, names)
 	if err != nil {
 		fatalf("%v", err)
 	}

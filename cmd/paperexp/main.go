@@ -9,9 +9,18 @@
 //	paperexp -fig 7                # one figure
 //	paperexp -fig 7 -quick         # reduced workload set
 //	paperexp -all -insts 1000000   # longer runs for tighter averages
+//	paperexp -all -journal ckpt/   # checkpoint sweeps; re-run to resume
+//
+// Every figure runs as a sweep through the internal/sweep engine. With
+// -journal DIR each sweep checkpoints its completed grid points to
+// DIR/<sweep>-<fingerprint>.ndjson; a killed run re-invoked with the same
+// flags resumes from the journals and produces bit-identical results.
+// -abort-after N stops the suite deterministically after N fresh
+// simulations (exit code 3) — the hook CI uses to exercise kill/resume.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,17 +43,28 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		plot     = flag.Bool("plot", false, "also render figures as terminal charts")
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
+		journal  = flag.String("journal", "", "directory for sweep checkpoint journals; re-running with the same flags resumes")
+		abort    = flag.Int("abort-after", 0, "abort the suite after N fresh simulations (exit 3); used with -journal to test resume")
 	)
 	flag.Parse()
 
 	opts := exp.Options{
-		MaxInsts:    *insts,
-		WarmupInsts: *warmup,
-		Seed:        *seed,
-		Parallel:    *parallel,
+		MaxInsts:         *insts,
+		WarmupInsts:      *warmup,
+		Seed:             *seed,
+		Parallel:         *parallel,
+		Journal:          *journal,
+		AbortAfterPoints: *abort,
 	}
 	if *quick {
 		opts.Workloads = exp.QuickWorkloads()
+	}
+	// Refuse nonsense values as usage errors instead of silently
+	// normalizing them (a negative -parallel used to be treated as 0).
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "paperexp: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
 	runner := exp.NewRunner(opts)
 	plotWanted = *plot
@@ -108,6 +128,10 @@ func main() {
 			fmt.Println()
 		}
 		if err := e.run(); err != nil {
+			if errors.Is(err, exp.ErrAborted) {
+				fmt.Fprintf(os.Stderr, "paperexp: experiment %s: %v; re-run with the same -journal to resume\n", e.id, err)
+				os.Exit(3)
+			}
 			fmt.Fprintf(os.Stderr, "paperexp: experiment %s: %v\n", e.id, err)
 			os.Exit(1)
 		}

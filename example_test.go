@@ -1,6 +1,7 @@
 package fbdsim_test
 
 import (
+	"context"
 	"fmt"
 
 	"fbdsim"
@@ -13,12 +14,12 @@ func ExampleRun() {
 	cfg.MaxInsts = 60_000
 	cfg.WarmupInsts = 8_000
 
-	base, err := fbdsim.Run(cfg, []string{"swim"})
+	base, err := fbdsim.Run(context.Background(), cfg, []string{"swim"})
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
-	ap, err := fbdsim.Run(fbdsim.WithAMBPrefetch(cfg), []string{"swim"})
+	ap, err := fbdsim.Run(context.Background(), fbdsim.WithAMBPrefetch(cfg), []string{"swim"})
 	if err != nil {
 		fmt.Println(err)
 		return

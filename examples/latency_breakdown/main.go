@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,11 +22,11 @@ func main() {
 	cfg := fbdsim.Default()
 	cfg.MaxInsts = 200_000
 
-	base, err := fbdsim.Run(cfg, workload)
+	base, err := fbdsim.Run(context.Background(), cfg, workload)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ap, err := fbdsim.Run(fbdsim.WithAMBPrefetch(cfg), workload)
+	ap, err := fbdsim.Run(context.Background(), fbdsim.WithAMBPrefetch(cfg), workload)
 	if err != nil {
 		log.Fatal(err)
 	}

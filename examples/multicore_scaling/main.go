@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,15 +32,15 @@ func main() {
 	fmt.Printf("%6s %12s %12s %12s %16s\n",
 		"cores", "DDR2 IPC", "FBD IPC", "FBD-AP IPC", "AP gain vs FBD")
 	for _, mix := range mixes {
-		ddr2, err := fbdsim.Run(withBudget(fbdsim.DDR2Baseline(), base), mix)
+		ddr2, err := fbdsim.Run(context.Background(), withBudget(fbdsim.DDR2Baseline(), base), mix)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fbd, err := fbdsim.Run(base, mix)
+		fbd, err := fbdsim.Run(context.Background(), base, mix)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ap, err := fbdsim.Run(fbdsim.WithAMBPrefetch(base), mix)
+		ap, err := fbdsim.Run(context.Background(), fbdsim.WithAMBPrefetch(base), mix)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	base := fbdsim.Default()
 	base.MaxInsts = 150_000
 
-	ref, err := fbdsim.Run(base, workload)
+	ref, err := fbdsim.Run(context.Background(), base, workload)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func main() {
 	for _, k := range []int{2, 4, 8} {
 		cfg := fbdsim.WithAMBPrefetch(base)
 		cfg.Mem.RegionLines = k
-		res, err := fbdsim.Run(cfg, workload)
+		res, err := fbdsim.Run(context.Background(), cfg, workload)
 		if err != nil {
 			log.Fatal(err)
 		}

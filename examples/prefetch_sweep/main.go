@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 	base := fbdsim.Default()
 	base.MaxInsts = 200_000
 
-	ref, err := fbdsim.Run(base, workload)
+	ref, err := fbdsim.Run(context.Background(), base, workload)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func main() {
 		cfg.Mem.RegionLines = p.k
 		cfg.Mem.AMBCacheLines = p.entries
 		cfg.Mem.AMBCacheAssoc = p.assoc
-		res, err := fbdsim.Run(cfg, workload)
+		res, err := fbdsim.Run(context.Background(), cfg, workload)
 		if err != nil {
 			log.Fatal(err)
 		}

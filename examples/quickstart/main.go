@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,13 +20,13 @@ func main() {
 	base := fbdsim.Default() // FB-DIMM, 2 logical channels, 667 MT/s
 	base.MaxInsts = 300_000
 
-	baseline, err := fbdsim.Run(base, workload)
+	baseline, err := fbdsim.Run(context.Background(), base, workload)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	ap := fbdsim.WithAMBPrefetch(base) // + K=4 region prefetch, 4 KB AMB caches
-	prefetched, err := fbdsim.Run(ap, workload)
+	prefetched, err := fbdsim.Run(context.Background(), ap, workload)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@ package fbdsim
 // measurable (mirrors TestTraceOverhead's interleaved guard).
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"time"
@@ -34,7 +35,7 @@ func faultConfig(preset string, seed int64) Config {
 
 func runFault(tb testing.TB, cfg Config) Results {
 	tb.Helper()
-	res, err := Run(cfg, []string{"swim"})
+	res, err := Run(context.Background(), cfg, []string{"swim"})
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -23,9 +23,25 @@
 // Quick start:
 //
 //	cfg := fbdsim.WithAMBPrefetch(fbdsim.Default())
-//	res, err := fbdsim.Run(cfg, []string{"swim", "applu"})
+//	res, err := fbdsim.Run(context.Background(), cfg, []string{"swim", "applu"})
 //	if err != nil { ... }
 //	fmt.Println(res.TotalIPC(), res.AvgReadLatencyNS)
+//
+// Run accepts functional options for the cross-cutting concerns —
+// WithTrace (per-request pipeline tracing), WithFault (fault injection),
+// WithProgress (liveness callbacks):
+//
+//	res, err := fbdsim.Run(ctx, cfg, benchmarks,
+//		fbdsim.WithFault(fbdsim.FaultConfig{SouthErrorRate: 1e-7}),
+//		fbdsim.WithProgress(func(p fbdsim.Progress) { log.Println(p.Cycle) }))
+//
+// Parameter sweeps — grids of configurations × workloads × seeds with
+// bounded parallelism, result caching and journal-based resume — are the
+// internal/sweep engine, exposed through cmd/paperexp and the fbdserve
+// POST /v1/sweeps API.
+//
+// Deprecated entry points: RunContext predates the options API and is kept
+// as a thin wrapper; new code calls Run.
 //
 // The experiment harness that regenerates every table and figure of the
 // paper lives in internal/exp and is exposed through cmd/paperexp.
@@ -107,18 +123,77 @@ func WithAMBPrefetch(c Config) Config { return config.WithAMBPrefetch(c) }
 // avoid bank activity.
 func WithFullLatencyHits(c Config) Config { return config.WithFullLatencyHits(c) }
 
-// Run simulates cfg executing one benchmark per core and returns measured
-// results. Valid benchmark names are Benchmarks().
-func Run(cfg Config, benchmarks []string) (Results, error) {
-	return RunContext(context.Background(), cfg, benchmarks)
+// TraceConfig configures the memtrace recorder (see WithTrace).
+type TraceConfig = config.Trace
+
+// FaultConfig configures the deterministic fault injector (see WithFault).
+type FaultConfig = config.Fault
+
+// Progress is the liveness snapshot delivered to a WithProgress callback.
+type Progress = system.Progress
+
+// Option customizes one Run call. Options are applied in order; later
+// options win on conflict.
+type Option func(*runSettings)
+
+type runSettings struct {
+	cfg      Config
+	progress func(Progress)
 }
 
-// RunContext is Run with cancellation: the simulation polls ctx at
+// WithTrace enables the memtrace recorder for this run with settings t
+// (t.Enabled is implied). The run's Results.Trace carries per-stage
+// latency breakdowns, epoch time-series and retained per-request events.
+func WithTrace(t TraceConfig) Option {
+	return func(s *runSettings) {
+		t.Enabled = true
+		s.cfg.Trace = t
+	}
+}
+
+// WithFault enables deterministic fault injection for this run with
+// settings f (f.Enabled is implied). Results.Faults summarizes the
+// injected faults and their cost.
+func WithFault(f FaultConfig) Option {
+	return func(s *runSettings) {
+		f.Enabled = true
+		s.cfg.Fault = f
+	}
+}
+
+// WithProgress delivers liveness snapshots to fn at simulation boundary
+// checks (at most once per 1024 executed CPU cycles). fn runs on the
+// simulation goroutine: keep it fast and non-blocking. It observes state
+// only and cannot perturb results.
+func WithProgress(fn func(Progress)) Option {
+	return func(s *runSettings) { s.progress = fn }
+}
+
+// Run simulates cfg executing one benchmark per core (valid names are
+// Benchmarks()) and returns measured results. The simulation polls ctx at
 // cycle-batch granularity (1024 CPU cycles), so cancelling an in-flight
-// run stops it within milliseconds of wall time. On cancellation the
-// returned error is ctx.Err().
+// run stops it within milliseconds of wall time; on cancellation the
+// returned error is ctx.Err(). Options layer tracing, fault injection and
+// progress reporting onto the run without dedicated entry points:
+//
+//	res, err := fbdsim.Run(ctx, cfg, []string{"swim"}, fbdsim.WithTrace(fbdsim.TraceConfig{}))
+func Run(ctx context.Context, cfg Config, benchmarks []string, opts ...Option) (Results, error) {
+	s := runSettings{cfg: cfg}
+	for _, o := range opts {
+		o(&s)
+	}
+	if s.progress != nil {
+		ctx = system.WithProgress(ctx, s.progress)
+	}
+	return system.RunWorkloadContext(ctx, s.cfg, benchmarks)
+}
+
+// RunContext runs a simulation with cancellation.
+//
+// Deprecated: RunContext predates the options API and is equivalent to
+// Run(ctx, cfg, benchmarks) with no options; new code calls Run.
 func RunContext(ctx context.Context, cfg Config, benchmarks []string) (Results, error) {
-	return system.RunWorkloadContext(ctx, cfg, benchmarks)
+	return Run(ctx, cfg, benchmarks)
 }
 
 // LoadConfig reads and validates a JSON configuration file. Fields missing

@@ -1,6 +1,7 @@
 package fbdsim
 
 import (
+	"context"
 	"testing"
 )
 
@@ -8,7 +9,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	cfg := WithAMBPrefetch(Default())
 	cfg.MaxInsts = 60_000
 	cfg.WarmupInsts = 8_000
-	res, err := Run(cfg, []string{"swim"})
+	res, err := Run(context.Background(), cfg, []string{"swim"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestSMTSpeedupExported(t *testing.T) {
 func TestRunRejectsUnknownBenchmark(t *testing.T) {
 	cfg := Default()
 	cfg.MaxInsts = 1000
-	if _, err := Run(cfg, []string{"crafty"}); err == nil {
+	if _, err := Run(context.Background(), cfg, []string{"crafty"}); err == nil {
 		t.Error("unknown benchmark must error")
 	}
 }
@@ -101,5 +102,49 @@ func TestAllProgramsIncludesExcluded(t *testing.T) {
 	}
 	if !found["art"] || !found["mcf"] {
 		t.Error("art and mcf must be available")
+	}
+}
+
+// TestRunOptions exercises the functional-options surface: each option
+// must actually reach the simulator, and a no-option Run must match the
+// deprecated RunContext wrapper bit for bit.
+func TestRunOptions(t *testing.T) {
+	cfg := Default()
+	cfg.MaxInsts = 30_000
+	cfg.WarmupInsts = 4_000
+	bench := []string{"swim"}
+
+	var calls int
+	var lastCommitted int64
+	res, err := Run(context.Background(), cfg, bench,
+		WithTrace(TraceConfig{MaxEvents: 128}),
+		WithFault(FaultConfig{DegradedDIMM: -1, DeadBank: -1, SouthErrorRate: 0.02, Seed: 3}),
+		WithProgress(func(p Progress) {
+			calls++
+			lastCommitted = p.Committed
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Error("WithTrace did not enable the recorder")
+	}
+	if res.Faults.SouthFrameErrors == 0 {
+		t.Error("WithFault did not enable the injector")
+	}
+	if calls == 0 || lastCommitted == 0 {
+		t.Errorf("WithProgress delivered %d calls, last committed %d", calls, lastCommitted)
+	}
+
+	plain, err := Run(context.Background(), cfg, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaDeprecated, err := RunContext(context.Background(), cfg, bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalIPC() != viaDeprecated.TotalIPC() || plain.Cycles != viaDeprecated.Cycles {
+		t.Error("deprecated RunContext diverged from Run")
 	}
 }

@@ -1,10 +1,11 @@
 // Package exp regenerates every table and figure of the paper's evaluation
-// (Section 5). Each FigureN function sweeps the configurations that figure
-// varies, runs the workloads of Table 3 through the full simulator, and
-// returns rows shaped like the paper's plots. A Runner memoizes simulation
-// results so that figures sharing configurations (e.g. the FBD baseline
-// appears in Figures 4, 7, 9, 10, 12 and 13) pay for each run once, and
-// executes independent runs in parallel.
+// (Section 5). Each FigureN function declares the grid of configurations ×
+// workloads that figure varies as a sweep spec and executes it through the
+// internal/sweep engine: bounded parallelism, single-flight result
+// caching shared across figures (the FBD baseline appears in Figures 4, 7,
+// 9, 10, 12 and 13 but simulates once), and — when Options.Journal is set —
+// per-sweep checkpoint journals so an interrupted suite resumes without
+// recomputing completed points.
 package exp
 
 import (
@@ -12,17 +13,26 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"runtime"
-	"sync"
+	"slices"
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"fbdsim/internal/clock"
 	"fbdsim/internal/config"
 	"fbdsim/internal/stats"
+	"fbdsim/internal/sweep"
 	"fbdsim/internal/system"
 	"fbdsim/internal/workload"
 )
+
+// ErrAborted is returned by sweeps cut short by Options.AbortAfterPoints —
+// the deterministic mid-run kill used by the resume tests and the CI smoke
+// step. A journaled suite re-run without the limit completes from where it
+// stopped.
+var ErrAborted = errors.New("exp: aborted after AbortAfterPoints simulations")
 
 // clockRate converts an MT/s integer into the clock.DataRate type,
 // validating it is supported.
@@ -43,11 +53,36 @@ type Options struct {
 	WarmupInsts int64
 	// Seed drives trace generation.
 	Seed int64
-	// Parallel caps concurrently running simulations (default: GOMAXPROCS).
+	// Parallel caps concurrently running simulations (default: GOMAXPROCS;
+	// negative values are rejected by Validate).
 	Parallel int
 	// Workloads restricts the workload set (default: the full paper set —
 	// twelve single-program runs plus the fifteen Table 3 mixes).
 	Workloads []workload.Workload
+	// Journal names a directory for sweep checkpoint journals. When set,
+	// every figure sweep writes completed points to
+	// <Journal>/<name>-<fingerprint>.ndjson and resumes from it on the
+	// next run of the same grid. Empty disables checkpointing.
+	Journal string
+	// AbortAfterPoints, when positive, cancels the suite once that many
+	// fresh simulations have completed — a deterministic kill switch for
+	// exercising journal resume (sweeps then fail with ErrAborted).
+	AbortAfterPoints int
+}
+
+// Validate rejects option values that a front door (flag parsing, request
+// decoding) should refuse rather than silently normalize.
+func (o Options) Validate() error {
+	if o.Parallel < 0 {
+		return fmt.Errorf("exp: negative parallelism %d", o.Parallel)
+	}
+	if o.MaxInsts < 0 {
+		return fmt.Errorf("exp: negative instruction budget %d", o.MaxInsts)
+	}
+	if o.AbortAfterPoints < 0 {
+		return fmt.Errorf("exp: negative AbortAfterPoints %d", o.AbortAfterPoints)
+	}
+	return nil
 }
 
 func (o Options) norm() Options {
@@ -88,12 +123,12 @@ func QuickWorkloads() []workload.Workload {
 	return ws
 }
 
-// Runner executes and memoizes simulations.
+// Runner executes simulations through the sweep engine's single-flight
+// cache: identical requests — within a figure, across figures, or across a
+// figure sweep and a direct Run call — simulate once.
 type Runner struct {
-	opts Options
-
-	mu    sync.Mutex
-	cache map[string]*cacheEntry
+	opts  Options
+	cache *sweep.Cache
 	sem   chan struct{}
 
 	// Cache accounting (see Summary): misses are actual simulations,
@@ -101,75 +136,131 @@ type Runner struct {
 	hits     stats.Counter
 	misses   stats.Counter
 	simNanos atomic.Int64
+
+	// abortCtx is cancelled once AbortAfterPoints simulations complete;
+	// without the option it never fires.
+	abortCtx    context.Context
+	abortCancel context.CancelFunc
 }
 
-type cacheEntry struct {
-	once sync.Once
-	res  system.Results
-	err  error
-}
-
-// NewRunner builds a Runner with the given options.
+// NewRunner builds a Runner with the given options. Invalid option values
+// (see Options.Validate) are a programmer error and panic; front doors
+// call Validate first and report a usage error instead.
 func NewRunner(opts Options) *Runner {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	o := opts.norm()
-	return &Runner{
+	r := &Runner{
 		opts:  o,
-		cache: make(map[string]*cacheEntry),
+		cache: sweep.NewCache(0),
 		sem:   make(chan struct{}, o.Parallel),
 	}
+	r.abortCtx, r.abortCancel = context.WithCancel(context.Background())
+	return r
 }
 
 // Options returns the normalized options in effect.
 func (r *Runner) Options() Options { return r.opts }
 
-// Run simulates cfg on the benchmark mix, memoized. The Runner's
-// instruction budgets and seed override the config's.
-func (r *Runner) Run(cfg config.Config, benchmarks []string) (system.Results, error) {
-	return r.RunContext(context.Background(), cfg, benchmarks)
-}
-
-// RunContext is Run with cancellation. Cancelling ctx stops an in-flight
-// simulation at cycle-batch granularity (see system.RunContext). A
-// cancelled run is evicted from the memo cache so a later request with the
-// same configuration re-simulates instead of replaying the context error;
-// concurrent waiters coalesced onto a cancelled run observe its error.
-func (r *Runner) RunContext(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
+// normalize applies the Runner's budget/seed overrides and the core-count
+// convention (CPU.Cores = len(benchmarks)) so that every path — direct
+// Run, figure sweep, journal replay — keys the cache identically.
+func (r *Runner) normalize(cfg config.Config, cores int) config.Config {
 	cfg.MaxInsts = r.opts.MaxInsts
 	cfg.WarmupInsts = r.opts.WarmupInsts
 	cfg.Seed = r.opts.Seed
-	key := fmt.Sprintf("%#v|%v", cfg, benchmarks)
+	cfg.CPU.Cores = cores
+	return cfg
+}
 
-	r.mu.Lock()
-	e, ok := r.cache[key]
-	if !ok {
-		e = &cacheEntry{}
-		r.cache[key] = e
-		r.misses.Inc()
-	} else {
+// simulate is the Runner's sweep.RunFunc: the real simulator behind the
+// global parallelism bound, with wall-time and miss accounting and the
+// AbortAfterPoints kill switch.
+func (r *Runner) simulate(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return system.Results{}, ctx.Err()
+	}
+	defer func() { <-r.sem }()
+	start := time.Now()
+	res, err := system.RunWorkloadContext(ctx, cfg, benchmarks)
+	r.simNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return res, err
+	}
+	r.misses.Inc()
+	if n := r.opts.AbortAfterPoints; n > 0 && r.misses.Value() >= int64(n) {
+		r.abortCancel()
+	}
+	return res, nil
+}
+
+// Run simulates cfg on the benchmark mix, memoized. The Runner's
+// instruction budgets and seed override the config's.
+func (r *Runner) Run(cfg config.Config, benchmarks []string) (system.Results, error) {
+	return r.RunContext(r.abortCtx, cfg, benchmarks)
+}
+
+// RunContext is Run with cancellation. Cancelling ctx stops an in-flight
+// simulation at cycle-batch granularity (see system.RunContext). Errors —
+// including cancellation — are never cached, so a later request with the
+// same configuration re-simulates instead of replaying the error;
+// concurrent waiters coalesced onto a cancelled run observe its error.
+func (r *Runner) RunContext(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
+	cfg = r.normalize(cfg, len(benchmarks))
+	key := sweep.Key(cfg, benchmarks)
+	res, hit, err := r.cache.Do(ctx, key, func() (system.Results, error) {
+		return r.simulate(ctx, cfg, benchmarks)
+	})
+	if hit {
 		r.hits.Inc()
 	}
-	r.mu.Unlock()
+	return res, err
+}
 
-	e.once.Do(func() {
-		select {
-		case r.sem <- struct{}{}:
-		case <-ctx.Done():
-			e.err = ctx.Err()
-			return
-		}
-		defer func() { <-r.sem }()
-		start := time.Now()
-		e.res, e.err = system.RunWorkloadContext(ctx, cfg, benchmarks)
-		r.simNanos.Add(time.Since(start).Nanoseconds())
-	})
-	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
-		r.mu.Lock()
-		if r.cache[key] == e {
-			delete(r.cache, key)
-		}
-		r.mu.Unlock()
+// sweep executes a named grid through the sweep engine against the
+// Runner's shared cache and returns the points in grid order. With
+// Options.Journal set the sweep checkpoints to (and resumes from) a
+// journal file keyed by the spec fingerprint. The first failing point
+// aborts with its error; an AbortAfterPoints cut returns ErrAborted.
+func (r *Runner) sweep(name string, cfgs []sweep.NamedConfig, ws []workload.Workload) ([]sweep.Point, error) {
+	spec := sweep.Spec{
+		Name:        name,
+		Configs:     cfgs,
+		Workloads:   ws,
+		Seeds:       []int64{r.opts.Seed},
+		MaxInsts:    r.opts.MaxInsts,
+		WarmupInsts: r.opts.WarmupInsts,
+		Parallel:    r.opts.Parallel,
 	}
-	return e.res, e.err
+	if r.opts.Journal != "" {
+		spec.Journal = filepath.Join(r.opts.Journal,
+			fmt.Sprintf("%s-%.12s.ndjson", name, spec.Fingerprint()))
+	}
+	eng, err := sweep.New(spec, sweep.Options{Run: r.simulate, Cache: r.cache})
+	if err != nil {
+		return nil, err
+	}
+	ch, err := eng.Start(r.abortCtx)
+	if err != nil {
+		return nil, err
+	}
+	pts := sweep.Collect(ch)
+	r.hits.Add(int64(eng.Progress().CacheHits))
+	for _, p := range pts {
+		if p.Err != "" {
+			return pts, fmt.Errorf("exp: sweep %s point %s/%s: %s", name, p.Config, p.Workload, p.Err)
+		}
+	}
+	if len(pts) < eng.Total() {
+		if r.abortCtx.Err() != nil {
+			return pts, ErrAborted
+		}
+		return pts, fmt.Errorf("exp: sweep %s incomplete: %d of %d points", name, len(pts), eng.Total())
+	}
+	return pts, nil
 }
 
 // Summary reports the Runner's cumulative cache accounting.
@@ -202,50 +293,54 @@ func (r *Runner) LogSummary(w io.Writer) {
 		s.Simulations, s.CacheHits, s.SimWall.Seconds())
 }
 
-// job is one parallel simulation request.
-type job struct {
-	cfg        config.Config
-	benchmarks []string
-}
-
-// batch runs all jobs concurrently (bounded by Parallel) and returns their
-// results in order.
-func (r *Runner) batch(jobs []job) ([]system.Results, error) {
-	results := make([]system.Results, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i], errs[i] = r.Run(jobs[i].cfg, jobs[i].benchmarks)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+// benchSet returns the sorted distinct benchmarks of ws.
+func benchSet(ws []workload.Workload) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, w := range ws {
+		for _, b := range w.Benchmarks {
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+			}
 		}
 	}
-	return results, nil
+	sort.Strings(out)
+	return out
 }
 
-// refIPC returns each benchmark's single-core IPC on the reference system
-// (single-threaded execution with two-channel DDR2, the paper's SMT-speedup
-// denominator).
-func (r *Runner) refIPC(benchmarks []string) ([]float64, error) {
-	ref := config.DDR2Baseline()
-	jobs := make([]job, len(benchmarks))
+// refIPCAll sweeps the DDR2 single-core reference over benchmarks and
+// returns each benchmark's IPC (the paper's SMT-speedup denominator).
+func (r *Runner) refIPCAll(benchmarks []string) (map[string]float64, error) {
+	ws := make([]workload.Workload, len(benchmarks))
 	for i, b := range benchmarks {
-		jobs[i] = job{cfg: ref, benchmarks: []string{b}}
+		ws[i] = workload.Workload{Name: b, Benchmarks: []string{b}}
 	}
-	results, err := r.batch(jobs)
+	pts, err := r.sweep("ddr2-ref", []sweep.NamedConfig{
+		{Name: "ddr2", Config: config.DDR2Baseline()},
+	}, ws)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(pts))
+	for _, p := range pts {
+		out[p.Workload] = p.Results.IPC[0]
+	}
+	return out, nil
+}
+
+// refIPC returns each benchmark's single-core IPC on the reference system.
+func (r *Runner) refIPC(benchmarks []string) ([]float64, error) {
+	distinct := append([]string(nil), benchmarks...)
+	sort.Strings(distinct)
+	distinct = slices.Compact(distinct)
+	m, err := r.refIPCAll(distinct)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, len(benchmarks))
-	for i, res := range results {
-		out[i] = res.IPC[0]
+	for i, b := range benchmarks {
+		out[i] = m[b]
 	}
 	return out, nil
 }
@@ -264,26 +359,28 @@ func (r *Runner) Speedup(cfg config.Config, w workload.Workload) (float64, error
 	return workload.SMTSpeedup(res.IPC, ref), nil
 }
 
-// speedupAll computes SMT speedups of cfg across ws, warming the per-run
-// cache in parallel first.
+// speedupAll computes SMT speedups of cfg across ws: one sweep over
+// cfg × ws plus the DDR2 reference sweep, both through the shared cache.
 func (r *Runner) speedupAll(cfg config.Config, ws []workload.Workload) ([]float64, error) {
-	jobs := make([]job, 0, len(ws)*2)
-	for _, w := range ws {
-		jobs = append(jobs, job{cfg: cfg, benchmarks: w.Benchmarks})
-		for _, b := range w.Benchmarks {
-			jobs = append(jobs, job{cfg: config.DDR2Baseline(), benchmarks: []string{b}})
-		}
-	}
-	if _, err := r.batch(jobs); err != nil {
+	pts, err := r.sweep("speedup", []sweep.NamedConfig{{Name: "cfg", Config: cfg}}, ws)
+	if err != nil {
 		return nil, err
+	}
+	refs, err := r.refIPCAll(benchSet(ws))
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]system.Results, len(pts))
+	for _, p := range pts {
+		byName[p.Workload] = p.Results
 	}
 	out := make([]float64, len(ws))
 	for i, w := range ws {
-		s, err := r.Speedup(cfg, w)
-		if err != nil {
-			return nil, err
+		ref := make([]float64, len(w.Benchmarks))
+		for k, b := range w.Benchmarks {
+			ref[k] = refs[b]
 		}
-		out[i] = s
+		out[i] = workload.SMTSpeedup(byName[w.Name].IPC, ref)
 	}
 	return out, nil
 }

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
 	"fbdsim/internal/clock"
 	"fbdsim/internal/config"
+	"fbdsim/internal/sweep"
 	"fbdsim/internal/workload"
 )
 
@@ -81,45 +83,121 @@ func TestRunnerMemoization(t *testing.T) {
 	if a.IPC[0] != b.IPC[0] {
 		t.Error("memoized results differ")
 	}
-	if len(r.cache) != 1 {
-		t.Errorf("cache entries = %d, want 1", len(r.cache))
+	if r.cache.Len() != 1 {
+		t.Errorf("cache entries = %d, want 1", r.cache.Len())
 	}
 	// A different config is a different entry.
 	if _, err := r.Run(config.DDR2Baseline(), []string{"vpr"}); err != nil {
 		t.Fatal(err)
 	}
-	if len(r.cache) != 2 {
-		t.Errorf("cache entries = %d, want 2", len(r.cache))
+	if r.cache.Len() != 2 {
+		t.Errorf("cache entries = %d, want 2", r.cache.Len())
 	}
 }
 
-func TestBatchParallelism(t *testing.T) {
+// TestRunnerSweep: a figure-style grid through the Runner's sweep path —
+// distinct configs simulate, identical configs dedup against the shared
+// cache, and points come back in grid order.
+func TestRunnerSweep(t *testing.T) {
 	r := testRunner()
-	var jobs []job
-	for i := 0; i < 4; i++ {
-		cfg := config.Default()
-		cfg.CPU.SoftwarePrefetch = i%2 == 0 // two distinct configs
-		jobs = append(jobs, job{cfg: cfg, benchmarks: []string{"vpr"}})
-	}
-	results, err := r.batch(jobs)
+	sp := config.Default()
+	nosp := config.Default()
+	nosp.CPU.SoftwarePrefetch = false
+	pts, err := r.sweep("grid", []sweep.NamedConfig{
+		{Name: "sp", Config: sp},
+		{Name: "nosp", Config: nosp},
+		{Name: "sp-again", Config: sp}, // same content as "sp": must dedup
+	}, []workload.Workload{{Name: "1C-vpr", Benchmarks: []string{"vpr"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("results = %d", len(results))
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
 	}
-	for i, res := range results {
-		if res.IPC[0] <= 0 {
-			t.Errorf("job %d empty result", i)
+	for i, p := range pts {
+		if p.Index != i || p.Err != "" || p.Results.IPC[0] <= 0 {
+			t.Errorf("point %d malformed: %+v", i, p)
 		}
+	}
+	if s := r.Summary(); s.Simulations != 2 {
+		t.Errorf("simulations = %d, want 2 (sp-again dedups)", s.Simulations)
 	}
 }
 
-func TestBatchPropagatesErrors(t *testing.T) {
+func TestSweepPropagatesErrors(t *testing.T) {
 	r := testRunner()
-	_, err := r.batch([]job{{cfg: config.Default(), benchmarks: []string{"nosuch"}}})
+	_, err := r.sweep("bad", []sweep.NamedConfig{{Name: "d", Config: config.Default()}},
+		[]workload.Workload{{Name: "w", Benchmarks: []string{"nosuch"}}})
 	if err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := (Options{Parallel: -1}).Validate(); err == nil {
+		t.Error("negative Parallel accepted")
+	}
+	if err := (Options{MaxInsts: -5}).Validate(); err == nil {
+		t.Error("negative MaxInsts accepted")
+	}
+	if err := (Options{AbortAfterPoints: -2}).Validate(); err == nil {
+		t.Error("negative AbortAfterPoints accepted")
+	}
+	if err := (Options{}).Validate(); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRunner accepted negative parallelism")
+		}
+	}()
+	NewRunner(Options{Parallel: -3})
+}
+
+// TestRunnerJournalResume: an aborted journaled suite resumes to results
+// identical to an uninterrupted one — the exp-level half of the sweep
+// engine's resume guarantee.
+func TestRunnerJournalResume(t *testing.T) {
+	skipIfShort(t)
+	dir := t.TempDir()
+	ws := []workload.Workload{
+		{Name: "1C-swim", Benchmarks: []string{"swim"}},
+		{Name: "1C-vpr", Benchmarks: []string{"vpr"}},
+	}
+	opts := Options{MaxInsts: 40_000, WarmupInsts: 4_000, Workloads: ws, Parallel: 1}
+	grid := func(r *Runner) ([]sweep.Point, error) {
+		nosp := config.Default()
+		nosp.CPU.SoftwarePrefetch = false
+		return r.sweep("resume-grid", []sweep.NamedConfig{
+			{Name: "sp", Config: config.Default()},
+			{Name: "nosp", Config: nosp},
+		}, ws)
+	}
+
+	ref, err := grid(NewRunner(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	abortOpts := opts
+	abortOpts.Journal = dir
+	abortOpts.AbortAfterPoints = 1
+	if _, err := grid(NewRunner(abortOpts)); !errors.Is(err, ErrAborted) {
+		t.Fatalf("aborted run err = %v, want ErrAborted", err)
+	}
+
+	resumeOpts := opts
+	resumeOpts.Journal = dir
+	r := NewRunner(resumeOpts)
+	got, err := grid(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("resumed suite diverged from uninterrupted run")
+	}
+	if s := r.Summary(); s.Simulations >= int64(len(ref)) {
+		t.Errorf("resume re-simulated everything (%d sims for %d points)", s.Simulations, len(ref))
 	}
 }
 
@@ -316,10 +394,7 @@ func TestRunnerContextCancelDoesNotPoison(t *testing.T) {
 	if _, err := r.RunContext(ctx, config.Default(), []string{"vpr"}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled run err = %v, want Canceled", err)
 	}
-	r.mu.Lock()
-	entries := len(r.cache)
-	r.mu.Unlock()
-	if entries != 0 {
+	if entries := r.cache.Len(); entries != 0 {
 		t.Fatalf("cancelled entry not evicted (%d cached)", entries)
 	}
 	res, err := r.RunContext(context.Background(), config.Default(), []string{"vpr"})

@@ -6,6 +6,8 @@ import (
 
 	"fbdsim/internal/config"
 	"fbdsim/internal/power"
+	"fbdsim/internal/sweep"
+	"fbdsim/internal/workload"
 )
 
 func gainPct(test, base float64) float64 {
@@ -313,29 +315,46 @@ type Figure8Row struct {
 // Figure8Data is the coverage/efficiency study of Figure 8.
 type Figure8Data struct{ Rows []Figure8Row }
 
+// variantConfigs turns a prefetcher-variant sweep into the config
+// dimension of a sweep spec, one named config per variant label.
+func variantConfigs(vs []PrefetcherVariant) []sweep.NamedConfig {
+	out := make([]sweep.NamedConfig, len(vs))
+	for i, v := range vs {
+		out[i] = sweep.NamedConfig{Name: v.Label, Config: v.apply()}
+	}
+	return out
+}
+
 // Figure8 reproduces Figure 8: coverage (#prefetch_hit/#read) and
 // efficiency (#prefetch_hit/#prefetch) across prefetcher variants,
-// aggregated over the workload set.
+// aggregated over the workload set. The figure is one sweep spec —
+// variants × workloads — executed by the sweep engine.
 func Figure8(r *Runner) (Figure8Data, error) {
 	var d Figure8Data
+	pts, err := r.sweep("figure8", variantConfigs(Figure8Variants()), r.opts.Workloads)
+	if err != nil {
+		return d, err
+	}
+	type agg struct{ hits, reads, prefetched int64 }
+	byVariant := map[string]*agg{}
+	for _, p := range pts {
+		a := byVariant[p.Config]
+		if a == nil {
+			a = &agg{}
+			byVariant[p.Config] = a
+		}
+		a.hits += p.Results.AMB.Hits
+		a.reads += p.Results.AMB.Reads
+		a.prefetched += p.Results.AMB.Prefetched
+	}
 	for _, v := range Figure8Variants() {
-		cfg := v.apply()
-		var hits, reads, prefetched int64
-		for _, w := range r.opts.Workloads {
-			res, err := r.Run(cfg, w.Benchmarks)
-			if err != nil {
-				return d, err
-			}
-			hits += res.AMB.Hits
-			reads += res.AMB.Reads
-			prefetched += res.AMB.Prefetched
-		}
+		a := byVariant[v.Label]
 		row := Figure8Row{Variant: v}
-		if reads > 0 {
-			row.Coverage = float64(hits) / float64(reads)
+		if a.reads > 0 {
+			row.Coverage = float64(a.hits) / float64(a.reads)
 		}
-		if prefetched > 0 {
-			row.Efficiency = float64(hits) / float64(prefetched)
+		if a.prefetched > 0 {
+			row.Efficiency = float64(a.hits) / float64(a.prefetched)
 		}
 		d.Rows = append(d.Rows, row)
 	}
@@ -471,23 +490,56 @@ type Figure11Row struct {
 // Figure11Data is the sensitivity study of Figure 11.
 type Figure11Data struct{ Rows []Figure11Row }
 
-// Figure11 reproduces Figure 11 over the Figure 8 variant sweep.
+// Figure11 reproduces Figure 11 over the Figure 8 variant sweep. The
+// figure is one sweep spec — the default prefetcher plus every variant,
+// crossed with the workload set — whose points, together with the DDR2
+// single-core reference sweep, yield per-variant speedups; the "#CL=4
+// (default)" variant shares the default's configuration and therefore its
+// simulations.
 func Figure11(r *Runner) (Figure11Data, error) {
 	var d Figure11Data
 	def := PrefetcherVariant{"default", 4, 64, config.FullAssoc}
-	for _, g := range r.coreGroups() {
-		base, err := r.speedupAll(def.apply(), g.Workloads)
-		if err != nil {
-			return d, err
+	cfgs := append([]sweep.NamedConfig{{Name: def.Label, Config: def.apply()}},
+		variantConfigs(Figure8Variants())...)
+	pts, err := r.sweep("figure11", cfgs, r.opts.Workloads)
+	if err != nil {
+		return d, err
+	}
+	refs, err := r.refIPCAll(benchSet(r.opts.Workloads))
+	if err != nil {
+		return d, err
+	}
+	// speedup[config][workload] from the collected grid.
+	byPoint := make(map[string]map[string]float64, len(cfgs))
+	for _, p := range pts {
+		if byPoint[p.Config] == nil {
+			byPoint[p.Config] = map[string]float64{}
 		}
-		baseAvg := mean(base)
-		for _, v := range Figure8Variants() {
-			s, err := r.speedupAll(v.apply(), g.Workloads)
-			if err != nil {
-				return d, err
+		var w workload.Workload
+		for _, cand := range r.opts.Workloads {
+			if cand.Name == p.Workload {
+				w = cand
+				break
 			}
+		}
+		ref := make([]float64, len(w.Benchmarks))
+		for i, b := range w.Benchmarks {
+			ref[i] = refs[b]
+		}
+		byPoint[p.Config][p.Workload] = workload.SMTSpeedup(p.Results.IPC, ref)
+	}
+	groupMean := func(label string, ws []workload.Workload) float64 {
+		xs := make([]float64, len(ws))
+		for i, w := range ws {
+			xs[i] = byPoint[label][w.Name]
+		}
+		return mean(xs)
+	}
+	for _, g := range r.coreGroups() {
+		baseAvg := groupMean(def.Label, g.Workloads)
+		for _, v := range Figure8Variants() {
 			d.Rows = append(d.Rows, Figure11Row{
-				Cores: g.Cores, Variant: v, Normalized: mean(s) / baseAvg,
+				Cores: g.Cores, Variant: v, Normalized: groupMean(v.Label, g.Workloads) / baseAvg,
 			})
 		}
 	}
@@ -597,41 +649,46 @@ func Figure13Variants() []PrefetcherVariant {
 
 // Figure13 reproduces Figure 13: DRAM dynamic energy per committed
 // instruction of each AP variant, normalized to FB-DIMM without
-// prefetching, using the Section 5.5 4:1 ACT-PRE:column weighting.
+// prefetching, using the Section 5.5 4:1 ACT-PRE:column weighting. The
+// figure is one sweep spec — the FBD baseline plus the power variants,
+// crossed with the workload set — aggregated per core group.
 func Figure13(r *Runner) (Figure13Data, error) {
 	var d Figure13Data
+	const baseLabel = "FBD"
+	cfgs := append([]sweep.NamedConfig{{Name: baseLabel, Config: config.FBDIMMBaseline()}},
+		variantConfigs(Figure13Variants())...)
+	pts, err := r.sweep("figure13", cfgs, r.opts.Workloads)
+	if err != nil {
+		return d, err
+	}
+	type agg struct{ energy, insts, act, col float64 }
 	w := power.PaperWeights()
-	for _, g := range r.coreGroups() {
-		var baseEnergy, baseInsts, baseACT, baseCol float64
-		for _, wl := range g.Workloads {
-			res, err := r.Run(config.FBDIMMBaseline(), wl.Benchmarks)
-			if err != nil {
-				return d, err
-			}
-			baseEnergy += power.Dynamic(res.DRAM, w)
-			baseInsts += float64(sum(res.Committed))
-			baseACT += float64(res.DRAM.ACT)
-			baseCol += float64(res.DRAM.Columns())
+	// byGroup[config label][core count]
+	byGroup := map[string]map[int]*agg{}
+	for _, p := range pts {
+		if byGroup[p.Config] == nil {
+			byGroup[p.Config] = map[int]*agg{}
 		}
+		a := byGroup[p.Config][p.Results.Cores]
+		if a == nil {
+			a = &agg{}
+			byGroup[p.Config][p.Results.Cores] = a
+		}
+		a.energy += power.Dynamic(p.Results.DRAM, w)
+		a.insts += float64(sum(p.Results.Committed))
+		a.act += float64(p.Results.DRAM.ACT)
+		a.col += float64(p.Results.DRAM.Columns())
+	}
+	for _, g := range r.coreGroups() {
+		base := byGroup[baseLabel][g.Cores]
 		for _, v := range Figure13Variants() {
-			cfg := v.apply()
-			var energy, insts, act, col float64
-			for _, wl := range g.Workloads {
-				res, err := r.Run(cfg, wl.Benchmarks)
-				if err != nil {
-					return d, err
-				}
-				energy += power.Dynamic(res.DRAM, w)
-				insts += float64(sum(res.Committed))
-				act += float64(res.DRAM.ACT)
-				col += float64(res.DRAM.Columns())
-			}
+			a := byGroup[v.Label][g.Cores]
 			d.Rows = append(d.Rows, Figure13Row{
 				Cores:      g.Cores,
 				Variant:    v,
-				PowerRatio: (energy / insts) / (baseEnergy / baseInsts),
-				ACTRatio:   (act / insts) / (baseACT / baseInsts),
-				ColRatio:   (col / insts) / (baseCol / baseInsts),
+				PowerRatio: (a.energy / a.insts) / (base.energy / base.insts),
+				ACTRatio:   (a.act / a.insts) / (base.act / base.insts),
+				ColRatio:   (a.col / a.insts) / (base.col / base.insts),
 			})
 		}
 	}

@@ -1,14 +1,8 @@
 package simserver
 
 import (
-	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"sync"
-
 	"fbdsim/internal/config"
-	"fbdsim/internal/system"
+	"fbdsim/internal/sweep"
 )
 
 // Key returns the canonical cache key of one simulation request: a SHA-256
@@ -16,73 +10,10 @@ import (
 // and instruction budgets) and the benchmark list. Two requests that would
 // produce identical Results hash identically; any differing knob — timing,
 // geometry, seed, budget, benchmark order — produces a different key.
+//
+// Key delegates to sweep.Key so that job submissions and sweep grid points
+// share one key space: a sweep point already in the cache answers an
+// identical job submission without simulating, and vice versa.
 func Key(cfg config.Config, benchmarks []string) string {
-	h := sha256.New()
-	enc := json.NewEncoder(h)
-	// Config and []string cannot fail to encode.
-	_ = enc.Encode(cfg)
-	_ = enc.Encode(benchmarks)
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-// resultCache is a goroutine-safe LRU cache of completed simulation
-// results, keyed by Key.
-type resultCache struct {
-	mu    sync.Mutex
-	max   int
-	order *list.List // front = most recently used
-	items map[string]*list.Element
-}
-
-type cacheItem struct {
-	key string
-	res system.Results
-}
-
-func newResultCache(max int) *resultCache {
-	if max < 1 {
-		max = 1
-	}
-	return &resultCache{
-		max:   max,
-		order: list.New(),
-		items: make(map[string]*list.Element),
-	}
-}
-
-// Get returns the cached result for key, marking it most recently used.
-func (c *resultCache) Get(key string) (system.Results, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		return system.Results{}, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheItem).res, true
-}
-
-// Put stores res under key, evicting the least recently used entry when
-// the cache is full.
-func (c *resultCache) Put(key string, res system.Results) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*cacheItem).res = res
-		c.order.MoveToFront(el)
-		return
-	}
-	c.items[key] = c.order.PushFront(&cacheItem{key: key, res: res})
-	for c.order.Len() > c.max {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheItem).key)
-	}
-}
-
-// Len returns the number of cached results.
-func (c *resultCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	return sweep.Key(cfg, benchmarks)
 }

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"fbdsim/internal/config"
-	"fbdsim/internal/system"
 )
 
 func TestKeyCanonical(t *testing.T) {
@@ -41,38 +40,5 @@ func TestKeyCanonical(t *testing.T) {
 		if v.key == v.other {
 			t.Errorf("%s: distinct requests share a key", v.name)
 		}
-	}
-}
-
-func TestResultCacheLRU(t *testing.T) {
-	c := newResultCache(2)
-	r := func(n int64) system.Results { return system.Results{Cycles: n} }
-
-	c.Put("a", r(1))
-	c.Put("b", r(2))
-	if _, ok := c.Get("a"); !ok {
-		t.Fatal("a should be cached")
-	}
-	// a was just used, so inserting c evicts b.
-	c.Put("c", r(3))
-	if _, ok := c.Get("b"); ok {
-		t.Error("b should have been evicted (LRU)")
-	}
-	if got, ok := c.Get("a"); !ok || got.Cycles != 1 {
-		t.Error("a should have survived")
-	}
-	if got, ok := c.Get("c"); !ok || got.Cycles != 3 {
-		t.Error("c should be cached")
-	}
-	if c.Len() != 2 {
-		t.Errorf("len = %d, want 2", c.Len())
-	}
-	// Overwriting refreshes, not grows.
-	c.Put("c", r(33))
-	if got, _ := c.Get("c"); got.Cycles != 33 {
-		t.Error("overwrite must update the stored result")
-	}
-	if c.Len() != 2 {
-		t.Errorf("len after overwrite = %d, want 2", c.Len())
 	}
 }

@@ -26,6 +26,12 @@ type Metrics struct {
 	CacheHits   *stats.Counter // served from cache or coalesced onto a run
 	CacheMisses *stats.Counter // submissions that required a simulation
 
+	// Sweeps.
+	SweepsAccepted  *stats.Counter // sweep submissions admitted
+	SweepsCompleted *stats.Counter // sweeps whose every grid point emitted
+	SweepsCancelled *stats.Counter // sweeps stopped before completing
+	SweepPoints     *stats.Counter // grid points emitted across all sweeps
+
 	// Per-job wall time of completed simulations.
 	wallMu sync.Mutex
 	wall   stats.Summary
@@ -45,6 +51,11 @@ func newMetrics() *Metrics {
 		SimCycles:   reg.Counter("sim_cycles_total"),
 		CacheHits:   reg.Counter("cache_hits"),
 		CacheMisses: reg.Counter("cache_misses"),
+
+		SweepsAccepted:  reg.Counter("sweeps_accepted"),
+		SweepsCompleted: reg.Counter("sweeps_completed"),
+		SweepsCancelled: reg.Counter("sweeps_cancelled"),
+		SweepPoints:     reg.Counter("sweep_points_total"),
 	}
 	reg.Func("job_wall_ms_count", func() any { i, _, _ := m.wallSnapshot(); return i })
 	reg.Func("job_wall_ms_mean", func() any { _, mean, _ := m.wallSnapshot(); return mean })

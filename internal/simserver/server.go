@@ -6,15 +6,31 @@
 //
 // API:
 //
-//	POST   /v1/jobs               submit {preset, config, benchmarks, seed, trace, ...}
-//	GET    /v1/jobs/{id}          poll one job (results embedded when done)
-//	GET    /v1/jobs/{id}/trace    Chrome trace_event JSON (jobs submitted with trace)
-//	GET    /v1/jobs/{id}/timeline epoch time-series CSV (jobs submitted with trace)
-//	DELETE /v1/jobs/{id}          cancel; returns the job's final state
-//	GET    /v1/results/{key}      direct result-cache lookup by canonical key
-//	GET    /healthz               liveness (503 while shutting down)
-//	GET    /readyz                readiness (503 when the queue is saturated or shutdown began)
-//	GET    /metrics               counter registry as JSON (?format=prom for Prometheus text)
+//	POST   /v1/jobs                 submit {preset, config, benchmarks, seed, trace, ...}
+//	GET    /v1/jobs/{id}            poll one job (results embedded when done)
+//	GET    /v1/jobs/{id}/trace      Chrome trace_event JSON (jobs submitted with trace)
+//	GET    /v1/jobs/{id}/timeline   epoch time-series CSV (jobs submitted with trace)
+//	DELETE /v1/jobs/{id}            cancel; returns the job's final state
+//	GET    /v1/results/{key}        direct result-cache lookup by canonical key
+//	POST   /v1/sweeps               submit a sweep grid {name, configs, workloads, seeds, ...}
+//	GET    /v1/sweeps/{id}          poll a sweep (state + progress counters)
+//	GET    /v1/sweeps/{id}/results  stream completed grid points as NDJSON (?follow=1 tails)
+//	DELETE /v1/sweeps/{id}          cancel a sweep; returns its final state
+//	GET    /healthz                 liveness (503 while shutting down)
+//	GET    /readyz                  readiness (503 when the queue is saturated or shutdown began)
+//	GET    /metrics                 counter registry as JSON (?format=prom for Prometheus text)
+//
+// Every /v1 error response uses one envelope:
+//
+//	{"error": {"code": "not_found", "message": "no such job"}}
+//
+// where code is a stable machine-readable identifier (bad_request,
+// not_found, conflict, queue_full, shutting_down, cancel_timeout) and
+// message is human-readable detail.
+//
+// Sweeps run the internal/sweep engine against the same single-flight
+// result cache as jobs, so sweep points, concurrent sweeps and individual
+// job submissions all deduplicate against each other.
 //
 // Backpressure: when the job queue is full, submissions are refused with
 // HTTP 429 and a Retry-After header. Shutdown stops intake immediately,
@@ -42,6 +58,7 @@ import (
 
 	"fbdsim/internal/config"
 	"fbdsim/internal/memtrace"
+	"fbdsim/internal/sweep"
 	"fbdsim/internal/system"
 	"fbdsim/internal/trace"
 )
@@ -75,6 +92,13 @@ type Options struct {
 	// (default 50ms); RetryBackoffMax caps the doubling (default 2s).
 	RetryBackoff    time.Duration
 	RetryBackoffMax time.Duration
+	// SweepParallel caps the per-sweep shard parallelism a client may
+	// request (default: Workers). Each sweep runs its own bounded pool;
+	// this keeps one greedy sweep from oversubscribing the host.
+	SweepParallel int
+	// MaxSweepPoints caps the grid size of one sweep submission
+	// (default 4096).
+	MaxSweepPoints int
 	// Run overrides the simulation function (tests).
 	Run RunFunc
 }
@@ -100,6 +124,12 @@ func (o Options) norm() Options {
 	}
 	if o.RetryBackoffMax <= 0 {
 		o.RetryBackoffMax = 2 * time.Second
+	}
+	if o.SweepParallel <= 0 {
+		o.SweepParallel = o.Workers
+	}
+	if o.MaxSweepPoints <= 0 {
+		o.MaxSweepPoints = 4096
 	}
 	if o.Run == nil {
 		o.Run = system.RunWorkloadContext
@@ -211,20 +241,23 @@ func (j *job) currentState() State {
 type Server struct {
 	opts    Options
 	metrics *Metrics
-	cache   *resultCache
+	cache   *sweep.Cache
 	queue   chan *job
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	byKey  map[string]*job // queued/running jobs, for coalescing
-	closed bool
-	nextID int64
+	mu          sync.Mutex
+	jobs        map[string]*job
+	byKey       map[string]*job // queued/running jobs, for coalescing
+	sweeps      map[string]*sweepJob
+	closed      bool
+	nextID      int64
+	nextSweepID int64
 
 	busy     atomic.Int64
 	workerWG sync.WaitGroup
+	sweepWG  sync.WaitGroup
 	shutOnce sync.Once
 }
 
@@ -235,18 +268,20 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:       o,
 		metrics:    newMetrics(),
-		cache:      newResultCache(o.CacheEntries),
+		cache:      sweep.NewCache(o.CacheEntries),
 		queue:      make(chan *job, o.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
 		byKey:      make(map[string]*job),
+		sweeps:     make(map[string]*sweepJob),
 	}
 	reg := s.metrics.Registry()
 	reg.Func("queue_depth", func() any { return len(s.queue) })
 	reg.Func("workers", func() any { return o.Workers })
 	reg.Func("workers_busy", func() any { return s.busy.Load() })
 	reg.Func("cache_entries", func() any { return s.cache.Len() })
+	reg.Func("sweeps_active", func() any { return s.activeSweeps() })
 	for i := 0; i < o.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -388,6 +423,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	drained := make(chan struct{})
 	go func() {
 		s.workerWG.Wait()
+		s.sweepWG.Wait()
 		close(drained)
 	}()
 	select {
@@ -451,6 +487,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -465,14 +505,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// Stable machine-readable error codes carried by every /v1 error response.
+const (
+	codeBadRequest    = "bad_request"
+	codeNotFound      = "not_found"
+	codeConflict      = "conflict"
+	codeQueueFull     = "queue_full"
+	codeShuttingDown  = "shutting_down"
+	codeCancelTimeout = "cancel_timeout"
+	codeInternal      = "internal"
+)
+
+// errorView is the uniform error envelope of the /v1 API:
+// {"error": {"code": ..., "message": ...}}.
+type errorView struct {
+	Error errorBody `json:"error"`
 }
 
-// buildConfig resolves preset + overrides + budgets into a validated Config.
-func (s *Server) buildConfig(req *submitRequest) (config.Config, error) {
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorView{Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// resolveConfig materializes a preset name plus an optional strict JSON
+// overlay into a Config. It is the shared front half of job and sweep
+// config resolution.
+func resolveConfig(preset string, overlay json.RawMessage) (config.Config, error) {
 	var cfg config.Config
-	switch req.Preset {
+	switch preset {
 	case "", "fbd":
 		cfg = config.Default()
 	case "ddr2":
@@ -482,14 +546,33 @@ func (s *Server) buildConfig(req *submitRequest) (config.Config, error) {
 	case "fbd-apfl":
 		cfg = config.WithFullLatencyHits(config.Default())
 	default:
-		return config.Config{}, fmt.Errorf("unknown preset %q (want ddr2, fbd, fbd-ap, fbd-apfl)", req.Preset)
+		return config.Config{}, fmt.Errorf("unknown preset %q (want ddr2, fbd, fbd-ap, fbd-apfl)", preset)
 	}
-	if len(req.Config) > 0 {
-		dec := json.NewDecoder(bytes.NewReader(req.Config))
+	if len(overlay) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(overlay))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&cfg); err != nil {
 			return config.Config{}, fmt.Errorf("config overrides: %v", err)
 		}
+	}
+	return cfg, nil
+}
+
+// validBenchmarks rejects unknown program names.
+func validBenchmarks(benchmarks []string) error {
+	for _, b := range benchmarks {
+		if _, err := trace.ProfileFor(b); err != nil {
+			return fmt.Errorf("unknown benchmark %q (valid: %v)", b, trace.AllProgramNames())
+		}
+	}
+	return nil
+}
+
+// buildConfig resolves preset + overrides + budgets into a validated Config.
+func (s *Server) buildConfig(req *submitRequest) (config.Config, error) {
+	cfg, err := resolveConfig(req.Preset, req.Config)
+	if err != nil {
+		return config.Config{}, err
 	}
 	if req.Seed != 0 {
 		cfg.Seed = req.Seed
@@ -509,10 +592,8 @@ func (s *Server) buildConfig(req *submitRequest) (config.Config, error) {
 	if len(req.Benchmarks) == 0 {
 		return config.Config{}, errors.New("benchmarks list is required")
 	}
-	for _, b := range req.Benchmarks {
-		if _, err := trace.ProfileFor(b); err != nil {
-			return config.Config{}, fmt.Errorf("unknown benchmark %q (valid: %v)", b, trace.AllProgramNames())
-		}
+	if err := validBenchmarks(req.Benchmarks); err != nil {
+		return config.Config{}, err
 	}
 	cfg.CPU.Cores = len(req.Benchmarks)
 	if err := cfg.Validate(); err != nil {
@@ -526,12 +607,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
 		return
 	}
 	cfg, err := s.buildConfig(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
 	key := Key(cfg, req.Benchmarks)
@@ -539,7 +620,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "server is shutting down")
 		return
 	}
 	// Fast path 1: an identical completed run is cached.
@@ -578,7 +659,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Rejected.Inc()
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds()+0.5)))
-		writeError(w, http.StatusTooManyRequests, "job queue full (depth %d); retry later", s.opts.QueueDepth)
+		writeError(w, http.StatusTooManyRequests, codeQueueFull, "job queue full (depth %d); retry later", s.opts.QueueDepth)
 		return
 	}
 	s.byKey[key] = j
@@ -628,7 +709,7 @@ func (s *Server) lookup(id string) *job {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.snapshotView(true))
@@ -637,7 +718,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	s.cancelJob(j)
@@ -647,7 +728,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-j.done:
 	case <-r.Context().Done():
-		writeError(w, http.StatusRequestTimeout, "cancellation still in flight")
+		writeError(w, http.StatusRequestTimeout, codeCancelTimeout, "cancellation still in flight")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.snapshotView(false))
@@ -682,7 +763,7 @@ func (s *Server) cancelJob(j *job) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	res, ok := s.cache.Get(r.PathValue("key"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no cached result for key")
+		writeError(w, http.StatusNotFound, codeNotFound, "no cached result for key")
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -736,7 +817,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) traceSummary(w http.ResponseWriter, r *http.Request) *memtrace.Summary {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return nil
 	}
 	j.mu.Lock()
@@ -745,13 +826,13 @@ func (s *Server) traceSummary(w http.ResponseWriter, r *http.Request) *memtrace.
 	j.mu.Unlock()
 	switch {
 	case !state.terminal():
-		writeError(w, http.StatusConflict, "job is %s; artifacts are available once it is done", state)
+		writeError(w, http.StatusConflict, codeConflict, "job is %s; artifacts are available once it is done", state)
 		return nil
 	case state != StateDone:
-		writeError(w, http.StatusNotFound, "job %s; no results", state)
+		writeError(w, http.StatusNotFound, codeNotFound, "job %s; no results", state)
 		return nil
 	case tr == nil:
-		writeError(w, http.StatusNotFound, "job ran without tracing; submit with \"trace\": true")
+		writeError(w, http.StatusNotFound, codeNotFound, "job ran without tracing; submit with \"trace\": true")
 		return nil
 	}
 	return tr

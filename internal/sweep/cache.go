@@ -1,0 +1,150 @@
+package sweep
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"fbdsim/internal/config"
+	"fbdsim/internal/system"
+)
+
+// Key returns the canonical cache key of one simulation request: a SHA-256
+// hash over the JSON encoding of the full configuration (which embeds seed
+// and instruction budgets) and the benchmark list. Two requests that would
+// produce identical Results hash identically; any differing knob — timing,
+// geometry, seed, budget, benchmark order — produces a different key.
+//
+// It is the shared identity across the sweep engine, the exp.Runner memo
+// cache and the simserver job/result API.
+func Key(cfg config.Config, benchmarks []string) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// Config and []string cannot fail to encode.
+	_ = enc.Encode(cfg)
+	_ = enc.Encode(benchmarks)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is a goroutine-safe LRU cache of completed simulation results with
+// single-flight execution: concurrent Do calls for the same key run the
+// simulation once and share the outcome. A max of 0 (or negative) means
+// unbounded — the exp.Runner memoization mode; the serving path bounds it.
+type Cache struct {
+	mu     sync.Mutex
+	max    int
+	order  *list.List // front = most recently used
+	items  map[string]*list.Element
+	flight map[string]*flight
+}
+
+type cacheItem struct {
+	key string
+	res system.Results
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	res  system.Results
+	err  error
+}
+
+// NewCache builds a Cache holding at most max results (max <= 0: unbounded).
+func NewCache(max int) *Cache {
+	return &Cache{
+		max:    max,
+		order:  list.New(),
+		items:  make(map[string]*list.Element),
+		flight: make(map[string]*flight),
+	}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *Cache) Get(key string) (system.Results, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.getLocked(key)
+}
+
+func (c *Cache) getLocked(key string) (system.Results, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return system.Results{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).res, true
+}
+
+// Put stores res under key, evicting the least recently used entry when the
+// cache is bounded and full.
+func (c *Cache) Put(key string, res system.Results) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, res)
+}
+
+func (c *Cache) putLocked(key string, res system.Results) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheItem{key: key, res: res})
+	for c.max > 0 && c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Do returns the result for key, computing it with fn on a miss. Concurrent
+// calls for the same key coalesce onto one fn execution. hit reports whether
+// the result came from the cache or an in-flight computation rather than
+// this call's own fn.
+//
+// Errors are never cached: a failed or cancelled computation is forgotten,
+// so a later Do with the same key re-runs fn instead of replaying the error
+// (waiters already coalesced onto the failed flight do observe its error).
+// A waiter whose own ctx expires first returns ctx.Err() without waiting
+// further.
+func (c *Cache) Do(ctx context.Context, key string, fn func() (system.Results, error)) (res system.Results, hit bool, err error) {
+	c.mu.Lock()
+	if res, ok := c.getLocked(key); ok {
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	if f, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.res, true, f.err
+		case <-ctx.Done():
+			return system.Results{}, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flight[key] = f
+	c.mu.Unlock()
+
+	f.res, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if f.err == nil {
+		c.putLocked(key, f.res)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}

@@ -1,0 +1,29 @@
+package sweep
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteNDJSON streams the point channel to w as newline-delimited JSON,
+// one Point per line, in completion order, flushing after every point when
+// w supports it (e.g. an http.Flusher-backed writer wrapped in a flushing
+// io.Writer). It drains ch fully and returns the first write error, if
+// any; on error the remaining points are still drained so the producing
+// engine never blocks.
+func WriteNDJSON(w io.Writer, ch <-chan Point) error {
+	enc := json.NewEncoder(w)
+	var firstErr error
+	for p := range ch {
+		if firstErr != nil {
+			continue
+		}
+		if err := enc.Encode(p); err != nil {
+			firstErr = err
+		}
+		if f, ok := w.(interface{ Flush() }); ok {
+			f.Flush()
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,35 @@
+package system
+
+import "context"
+
+// Progress is a liveness snapshot delivered to a WithProgress callback at
+// simulation boundary checks: at most once per executed cycle batch (1024
+// CPU cycles); stretches the event-driven loop fast-forwards over coalesce
+// into the next report.
+type Progress struct {
+	// Cycle is the current CPU cycle.
+	Cycle int64
+	// Committed is the minimum committed instruction count across cores —
+	// the counter warmup and measurement completion are judged by.
+	Committed int64
+	// Warm reports whether warmup has finished (measurement under way).
+	Warm bool
+}
+
+type progressCtxKey struct{}
+
+// WithProgress returns a context that delivers boundary-check Progress
+// snapshots to fn during RunContext. fn runs on the simulation goroutine:
+// it must be fast and must not block, or it throttles the simulation. The
+// callback observes state only — it cannot perturb results.
+func WithProgress(ctx context.Context, fn func(Progress)) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressCtxKey{}, fn)
+}
+
+func progressFromContext(ctx context.Context) func(Progress) {
+	fn, _ := ctx.Value(progressCtxKey{}).(func(Progress))
+	return fn
+}

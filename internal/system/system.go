@@ -232,6 +232,7 @@ func (s *System) runReference(ctx context.Context) (Results, error) {
 		warm  *snapshot
 	)
 	done := ctx.Done()
+	progress := progressFromContext(ctx)
 	maxCycles := s.progressBound()
 
 	for {
@@ -254,6 +255,9 @@ func (s *System) runReference(ctx context.Context) (Results, error) {
 				return Results{}, ctx.Err()
 			default:
 			}
+		}
+		if progress != nil {
+			progress(Progress{Cycle: cycle, Committed: s.minCommitted(), Warm: warm != nil})
 		}
 		if warm == nil {
 			if s.minCommitted() >= s.cfg.WarmupInsts {
@@ -289,6 +293,7 @@ func (s *System) runFast(ctx context.Context) (Results, error) {
 		warm  *snapshot
 	)
 	done := ctx.Done()
+	progress := progressFromContext(ctx)
 	maxCycles := s.progressBound()
 	// The reference loop errors out at the first check boundary past
 	// maxCycles; a fully wedged machine fast-forwards straight there.
@@ -311,6 +316,9 @@ func (s *System) runFast(ctx context.Context) (Results, error) {
 					return Results{}, ctx.Err()
 				default:
 				}
+			}
+			if progress != nil {
+				progress(Progress{Cycle: cycle, Committed: s.minCommitted(), Warm: warm != nil})
 			}
 			if warm == nil {
 				if s.minCommitted() >= s.cfg.WarmupInsts {

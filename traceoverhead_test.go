@@ -9,6 +9,7 @@ package fbdsim
 // models, both measured here.
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -26,7 +27,7 @@ func overheadConfig(traced bool) Config {
 func runOnce(tb testing.TB, traced bool) (Results, time.Duration) {
 	tb.Helper()
 	start := time.Now()
-	res, err := Run(overheadConfig(traced), []string{"swim"})
+	res, err := Run(context.Background(), overheadConfig(traced), []string{"swim"})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func benchTraceRun(b *testing.B, traced bool) {
 	var insts int64
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(overheadConfig(traced), []string{"swim"})
+		res, err := Run(context.Background(), overheadConfig(traced), []string{"swim"})
 		if err != nil {
 			b.Fatal(err)
 		}
