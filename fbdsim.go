@@ -137,8 +137,11 @@ type Progress = system.Progress
 type Option func(*runSettings)
 
 type runSettings struct {
-	cfg      Config
-	progress func(Progress)
+	cfg            Config
+	progress       func(Progress)
+	checkpointPath string
+	checkpointAt   int64
+	restorePath    string
 }
 
 // WithTrace enables the memtrace recorder for this run with settings t
@@ -184,6 +187,10 @@ func Run(ctx context.Context, cfg Config, benchmarks []string, opts ...Option) (
 	}
 	if s.progress != nil {
 		ctx = system.WithProgress(ctx, s.progress)
+	}
+	ctx, err := s.checkpointContext(ctx)
+	if err != nil {
+		return Results{}, err
 	}
 	return system.RunWorkloadContext(ctx, s.cfg, benchmarks)
 }

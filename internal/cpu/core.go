@@ -39,9 +39,14 @@ type Core struct {
 	gapLeft   int
 	opPending bool // cur's op has not been dispatched yet
 
-	// lastLoad tracks completion of the most recently dispatched load so
-	// dependent loads (Item.Dep) wait for their producer's data.
-	lastLoad *bool
+	// Dependent loads (Item.Dep) wait for their producer's data. Each
+	// dispatched load gets the next loadSeq; lastLoadDone reports whether
+	// the load carrying lastLoadSeq has completed. Plain data (rather than
+	// a shared *bool flipped by a closure) so the whole dependence state
+	// serializes into a snapshot.
+	loadSeq      int64
+	lastLoadSeq  int64
+	lastLoadDone bool
 
 	// Committed is the cumulative number of committed instructions.
 	Committed int64
@@ -53,12 +58,14 @@ type Core struct {
 // NewCore builds core id fed by gen and backed by hier.
 func NewCore(cfg *config.CPU, id int, gen trace.Generator, hier *Hierarchy) *Core {
 	c := &Core{
-		cfg:  cfg,
-		id:   id,
-		gen:  gen,
-		hier: hier,
-		ring: make([]robItem, cfg.ROBEntries+2),
+		cfg:          cfg,
+		id:           id,
+		gen:          gen,
+		hier:         hier,
+		ring:         make([]robItem, cfg.ROBEntries+2),
+		lastLoadDone: true, // no producer load outstanding yet
 	}
+	hier.registerCore(c)
 	c.fetchNext()
 	return c
 }
@@ -168,7 +175,7 @@ func (c *Core) canDispatchOp() bool {
 		if c.lqInUse >= c.cfg.LQEntries {
 			return false
 		}
-		if c.cur.Dep && c.lastLoad != nil && !*c.lastLoad {
+		if c.cur.Dep && !c.lastLoadDone {
 			return false
 		}
 		return c.hier.CanAcceptLoad(c.id, c.cur.Addr)
@@ -207,7 +214,7 @@ func (c *Core) RetryProbesCache() bool {
 		if c.lqInUse >= c.cfg.LQEntries {
 			return false
 		}
-		return !(c.cur.Dep && c.lastLoad != nil && !*c.lastLoad)
+		return !(c.cur.Dep && !c.lastLoadDone)
 	case trace.Store:
 		return c.sqInUse < c.cfg.SQEntries
 	default:
@@ -290,31 +297,30 @@ func (c *Core) dispatchOp(cycle int64) bool {
 		if c.lqInUse >= c.cfg.LQEntries {
 			return false
 		}
-		if c.cur.Dep && c.lastLoad != nil && !*c.lastLoad {
+		if c.cur.Dep && !c.lastLoadDone {
 			return false // producer load still outstanding
 		}
 		idx := c.addLoad()
-		done := new(bool)
-		ok := c.hier.Load(c.id, c.cur.Addr, cycle, func(ready int64) {
-			c.ring[idx].done = true
-			c.ring[idx].doneCycle = ready
-			*done = true
-		})
-		if !ok {
+		c.loadSeq++
+		// Arm the dependence tracker before issuing: a hit completes
+		// synchronously inside LoadROB and must find its own seq armed.
+		prevSeq, prevDone := c.lastLoadSeq, c.lastLoadDone
+		c.lastLoadSeq, c.lastLoadDone = c.loadSeq, false
+		if !c.hier.LoadROB(c.id, c.cur.Addr, cycle, idx, c.loadSeq) {
 			// Roll the speculative ROB entry back; no MSHR was free.
 			c.unwindLoad(idx)
+			c.loadSeq--
+			c.lastLoadSeq, c.lastLoadDone = prevSeq, prevDone
 			return false
 		}
 		c.lqInUse++
-		c.lastLoad = done
 		return true
 
 	case trace.Store:
 		if c.sqInUse >= c.cfg.SQEntries {
 			return false
 		}
-		ok := c.hier.Store(c.id, c.cur.Addr, cycle, func(int64) { c.sqInUse-- })
-		if !ok {
+		if !c.hier.StoreSQ(c.id, c.cur.Addr, cycle) {
 			return false
 		}
 		c.sqInUse++
@@ -332,6 +338,21 @@ func (c *Core) dispatchOp(cycle int64) bool {
 		panic(fmt.Sprintf("cpu: unknown op %v", c.cur.Op))
 	}
 }
+
+// loadDone is the hierarchy's completion sink for a dispatched load: the
+// data for the load in ring slot idx (dispatch sequence seq) is ready at
+// cycle ready. Called synchronously for cache hits, from a miss entry's
+// waiter list otherwise.
+func (c *Core) loadDone(idx int, seq int64, ready int64) {
+	c.ring[idx].done = true
+	c.ring[idx].doneCycle = ready
+	if seq == c.lastLoadSeq {
+		c.lastLoadDone = true
+	}
+}
+
+// storeDone releases the store-queue entry of a completed store.
+func (c *Core) storeDone() { c.sqInUse-- }
 
 // unwindLoad removes the just-added load record (it must be the tail).
 func (c *Core) unwindLoad(idx int) {

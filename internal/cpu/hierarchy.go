@@ -18,6 +18,18 @@ import (
 	"fbdsim/internal/memreq"
 )
 
+// waiter is one completion subscription on a missEntry. Production waiters
+// are plain data — a core's ROB slot (loads) or store queue (ringIdx < 0) —
+// so MSHR state serializes into snapshots; fn is the closure escape hatch
+// the closure-based Load/Store test seam uses (nil in production, and a
+// snapshot refuses to serialize it).
+type waiter struct {
+	core    int
+	ringIdx int   // ROB ring slot of a load waiter; -1 for a store waiter
+	seq     int64 // the load's dispatch sequence number (dependence tracking)
+	fn      func(doneCycle int64)
+}
+
 // missEntry tracks one outstanding L2 miss (one cacheline) and everyone
 // waiting for it. Requests to the same line coalesce into one entry, as
 // MSHRs do.
@@ -28,7 +40,7 @@ type missEntry struct {
 	sw      bool       // purely a software prefetch (no waiters)
 	issued  bool       // accepted by the memory controller
 	created clock.Time // MSHR allocation time, kept across Enqueue retries
-	waiters []func(doneCycle int64)
+	waiters []waiter
 }
 
 // wbEntry is a dirty victim line awaiting controller space, with the time
@@ -46,6 +58,10 @@ type Hierarchy struct {
 	l1  []*cache.Cache
 	l2  *cache.Cache
 	mem *memctrl.Controller
+
+	// cores indexes the registered cores by id — the delivery targets of
+	// typed waiters (NewCore self-registers).
+	cores []*Core
 
 	outstanding map[int64]*missEntry
 	unissued    []*missEntry // created but not yet accepted by the controller
@@ -147,18 +163,54 @@ func (h *Hierarchy) L1(i int) *cache.Cache { return h.l1[i] }
 // OutstandingMisses returns the number of L2 misses in flight.
 func (h *Hierarchy) OutstandingMisses() int { return len(h.outstanding) }
 
+// registerCore records c as the delivery target for waiters carrying its
+// id (NewCore calls it).
+func (h *Hierarchy) registerCore(c *Core) {
+	for len(h.cores) <= c.id {
+		h.cores = append(h.cores, nil)
+	}
+	h.cores[c.id] = c
+}
+
+// deliver routes one completion to its waiter: the test-seam closure when
+// present, otherwise the registered core's typed sink.
+func (h *Hierarchy) deliver(w waiter, ready int64) {
+	if w.fn != nil {
+		w.fn(ready)
+		return
+	}
+	c := h.cores[w.core]
+	if w.ringIdx < 0 {
+		c.storeDone()
+	} else {
+		c.loadDone(w.ringIdx, w.seq, ready)
+	}
+}
+
 // Load performs core's load of addr at cycle. On success it returns true
 // and guarantees onDone will be called exactly once with the data-ready
 // cycle. It returns false when an L2 MSHR is unavailable; the core retries
-// next cycle.
+// next cycle. Cores use LoadROB (typed, serializable waiters); this
+// closure form is the direct-drive seam tests use.
 func (h *Hierarchy) Load(core int, addr int64, cycle int64, onDone func(int64)) bool {
+	return h.load(core, addr, cycle, waiter{core: core, fn: onDone})
+}
+
+// LoadROB is Load for a dispatched core load: the waiter is the core's ROB
+// ring slot plus dispatch sequence number — plain data, so an in-flight
+// miss serializes.
+func (h *Hierarchy) LoadROB(core int, addr int64, cycle int64, ringIdx int, seq int64) bool {
+	return h.load(core, addr, cycle, waiter{core: core, ringIdx: ringIdx, seq: seq})
+}
+
+func (h *Hierarchy) load(core int, addr int64, cycle int64, w waiter) bool {
 	if h.l1[core].Access(addr, false) {
-		onDone(cycle + int64(h.cfg.L1HitCycles))
+		h.deliver(w, cycle+int64(h.cfg.L1HitCycles))
 		return true
 	}
 	line := h.l2.LineAddr(addr)
 	if e, ok := h.outstanding[line]; ok {
-		e.waiters = append(e.waiters, onDone)
+		e.waiters = append(e.waiters, w)
 		e.sw = false
 		if e.core != core {
 			e.core = core // fill the most recent requester's L1 too
@@ -167,32 +219,43 @@ func (h *Hierarchy) Load(core int, addr int64, cycle int64, onDone func(int64)) 
 	}
 	if h.l2.Access(addr, false) {
 		h.fillL1(core, addr, false)
-		onDone(cycle + int64(h.cfg.L2HitCycles))
+		h.deliver(w, cycle+int64(h.cfg.L2HitCycles))
 		return true
 	}
-	return h.startMiss(core, line, false, false, onDone)
+	return h.startMiss(core, line, false, false, w)
 }
 
 // Store performs core's store of addr (write-allocate). onDone fires when
-// the store-queue entry can be released (line owned locally).
+// the store-queue entry can be released (line owned locally). Cores use
+// StoreSQ; this closure form is the test seam.
 func (h *Hierarchy) Store(core int, addr int64, cycle int64, onDone func(int64)) bool {
+	return h.store(core, addr, cycle, waiter{core: core, ringIdx: -1, fn: onDone})
+}
+
+// StoreSQ is Store for a dispatched core store; completion releases the
+// core's store-queue entry through its typed sink.
+func (h *Hierarchy) StoreSQ(core int, addr int64, cycle int64) bool {
+	return h.store(core, addr, cycle, waiter{core: core, ringIdx: -1})
+}
+
+func (h *Hierarchy) store(core int, addr int64, cycle int64, w waiter) bool {
 	if h.l1[core].Access(addr, true) {
-		onDone(cycle + int64(h.cfg.L1HitCycles))
+		h.deliver(w, cycle+int64(h.cfg.L1HitCycles))
 		return true
 	}
 	line := h.l2.LineAddr(addr)
 	if e, ok := h.outstanding[line]; ok {
 		e.dirty = true
 		e.sw = false
-		e.waiters = append(e.waiters, onDone)
+		e.waiters = append(e.waiters, w)
 		return true
 	}
 	if h.l2.Access(addr, true) {
 		h.fillL1(core, addr, true)
-		onDone(cycle + int64(h.cfg.L2HitCycles))
+		h.deliver(w, cycle+int64(h.cfg.L2HitCycles))
 		return true
 	}
-	return h.startMiss(core, line, true, false, onDone)
+	return h.startMiss(core, line, true, false, w)
 }
 
 // Prefetch executes a software prefetch: it warms the L2 without blocking
@@ -236,14 +299,12 @@ func (h *Hierarchy) trainHW(core int, line int64) {
 }
 
 // startMiss allocates the MSHR and memory request for a demand miss.
-func (h *Hierarchy) startMiss(core int, line int64, dirty, sw bool, onDone func(int64)) bool {
+func (h *Hierarchy) startMiss(core int, line int64, dirty, sw bool, w waiter) bool {
 	if h.l2MSHRInUse >= h.cfg.L2MSHRs {
 		return false
 	}
 	e := h.newEntry(line, core, dirty, sw)
-	if onDone != nil {
-		e.waiters = append(e.waiters, onDone)
-	}
+	e.waiters = append(e.waiters, w)
 	h.outstanding[line] = e
 	h.l2MSHRInUse++
 	h.DemandMisses++
@@ -266,11 +327,11 @@ func (h *Hierarchy) newEntry(line int64, core int, dirty, sw bool) *missEntry {
 	return &missEntry{line: line, core: core, dirty: dirty, sw: sw, created: h.now}
 }
 
-// freeEntry recycles a completed MSHR record. Waiter callbacks are cleared
+// freeEntry recycles a completed MSHR record. Waiter records are cleared
 // so the free list cannot pin dead closures.
 func (h *Hierarchy) freeEntry(e *missEntry) {
 	for i := range e.waiters {
-		e.waiters[i] = nil
+		e.waiters[i] = waiter{}
 	}
 	h.entryFree = append(h.entryFree, e)
 }
@@ -313,7 +374,7 @@ func (h *Hierarchy) complete(e *missEntry, at clock.Time) {
 	}
 	ready := doneCycle + int64(h.cfg.L2HitCycles)
 	for _, w := range e.waiters {
-		w(ready)
+		h.deliver(w, ready)
 	}
 	h.freeEntry(e)
 }

@@ -1,0 +1,44 @@
+package ddrbus
+
+import (
+	"fbdsim/internal/clock"
+	"fbdsim/internal/fbdchan"
+	"fbdsim/internal/snapshot"
+)
+
+// Snapshot serializes the channel's mutable state: the shared command and
+// data bus timelines, every bank FSM, and the accumulated counters.
+// Geometry and timing are construction-derived and not written.
+func (c *Channel) Snapshot(e *snapshot.Encoder) {
+	c.cmdBus.Snapshot(e)
+	c.dataBus.Snapshot(e)
+	e.Int(len(c.dimms))
+	for _, d := range c.dimms {
+		d.Snapshot(e)
+	}
+	c.Counters.Snapshot(e)
+	e.I64(c.Links.BytesNorth)
+	e.I64(c.Links.BytesSouth)
+	e.I64(c.BankConflicts)
+	e.I64(int64(c.lastCmdAt))
+	e.I64(int64(c.lastServiceAt))
+}
+
+// Restore overwrites the channel's mutable state from d. The DIMM count
+// must match the constructed configuration.
+func (c *Channel) Restore(d *snapshot.Decoder) {
+	c.cmdBus.Restore(d)
+	c.dataBus.Restore(d)
+	if n := d.Int(); n != len(c.dimms) {
+		d.Fail("ddrbus: snapshot has %d DIMMs, machine has %d", n, len(c.dimms))
+		return
+	}
+	for _, dimm := range c.dimms {
+		dimm.Restore(d)
+	}
+	c.Counters.Restore(d)
+	c.Links = fbdchan.LinkStats{BytesNorth: d.I64(), BytesSouth: d.I64()}
+	c.BankConflicts = d.I64()
+	c.lastCmdAt = clock.Time(d.I64())
+	c.lastServiceAt = clock.Time(d.I64())
+}

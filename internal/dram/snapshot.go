@@ -1,0 +1,67 @@
+package dram
+
+import (
+	"fbdsim/internal/clock"
+	"fbdsim/internal/snapshot"
+)
+
+// Snapshot serializes one bank's timing FSM. The timing parameters are
+// construction-derived and not written.
+func (b *Bank) Snapshot(e *snapshot.Encoder) {
+	e.I64(b.openRow)
+	e.I64(int64(b.actAt))
+	e.I64(int64(b.readyAt))
+	e.I64(int64(b.preOKAt))
+	e.I64(int64(b.lastWriteDataEnd))
+}
+
+// Restore overwrites the bank's FSM from d.
+func (b *Bank) Restore(d *snapshot.Decoder) {
+	b.openRow = d.I64()
+	b.actAt = clock.Time(d.I64())
+	b.readyAt = clock.Time(d.I64())
+	b.preOKAt = clock.Time(d.I64())
+	b.lastWriteDataEnd = clock.Time(d.I64())
+}
+
+// Snapshot serializes the operation counters.
+func (c *Counters) Snapshot(e *snapshot.Encoder) {
+	e.I64(c.ACT)
+	e.I64(c.PRE)
+	e.I64(c.ColRead)
+	e.I64(c.ColWrit)
+}
+
+// Restore overwrites the counters from d.
+func (c *Counters) Restore(d *snapshot.Decoder) {
+	c.ACT = d.I64()
+	c.PRE = d.I64()
+	c.ColRead = d.I64()
+	c.ColWrit = d.I64()
+}
+
+// Snapshot serializes the DIMM's mutable state: every bank FSM plus the
+// inter-bank tRRD tracker. Refresh settings and the degraded-bus scale are
+// derived from configuration at construction and not written.
+func (d *DIMM) Snapshot(e *snapshot.Encoder) {
+	e.Int(len(d.Banks))
+	for _, b := range d.Banks {
+		b.Snapshot(e)
+	}
+	e.I64(int64(d.lastACT))
+	e.Bool(d.hasACT)
+}
+
+// Restore overwrites the DIMM's mutable state from dec. The bank count
+// must match the constructed geometry.
+func (d *DIMM) Restore(dec *snapshot.Decoder) {
+	if n := dec.Int(); n != len(d.Banks) {
+		dec.Fail("dram: snapshot has %d banks, machine has %d", n, len(d.Banks))
+		return
+	}
+	for _, b := range d.Banks {
+		b.Restore(dec)
+	}
+	d.lastACT = clock.Time(dec.I64())
+	d.hasACT = dec.Bool()
+}

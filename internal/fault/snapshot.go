@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"fbdsim/internal/clock"
+	"fbdsim/internal/snapshot"
+)
+
+// Snapshot serializes the injector's mutable state: the per-class draw
+// counters (the PRNG stream positions) and the accumulated fault counters.
+// Rates, seeds and degraded-hardware settings are configuration-derived and
+// not written. Nil-safe: a disabled injector writes a zero marker.
+func (in *Injector) Snapshot(e *snapshot.Encoder) {
+	if in == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	for _, c := range in.ctr {
+		e.U64(c)
+	}
+	e.I64(in.Counters.SouthFrameErrors)
+	e.I64(in.Counters.NorthFrameErrors)
+	e.I64(in.Counters.Retries)
+	e.I64(int64(in.Counters.RetryLatency))
+	e.I64(in.Counters.AMBSoftErrors)
+	e.I64(in.Counters.Remapped)
+}
+
+// Restore overwrites the injector's mutable state from d. The
+// enabled/disabled marker must match the constructed machine (injection is
+// part of the configuration fingerprint, so a mismatch means corruption).
+func (in *Injector) Restore(d *snapshot.Decoder) {
+	present := d.Bool()
+	if present != (in != nil) {
+		d.Fail("fault: snapshot injector presence %v, machine %v", present, in != nil)
+		return
+	}
+	if in == nil {
+		return
+	}
+	for i := range in.ctr {
+		in.ctr[i] = d.U64()
+	}
+	in.Counters = Counters{
+		SouthFrameErrors: d.I64(),
+		NorthFrameErrors: d.I64(),
+		Retries:          d.I64(),
+		RetryLatency:     clock.Time(d.I64()),
+		AMBSoftErrors:    d.I64(),
+		Remapped:         d.I64(),
+	}
+}

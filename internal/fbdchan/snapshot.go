@@ -1,0 +1,87 @@
+package fbdchan
+
+import (
+	"sort"
+
+	"fbdsim/internal/clock"
+	"fbdsim/internal/snapshot"
+)
+
+// Snapshot serializes the channel's mutable state: link and DIMM-bus
+// timelines, bank FSMs, AMB caches, the in-flight prefetch table and the
+// accumulated counters. Geometry and timing are construction-derived and
+// not written. The fault injector is owned (and serialized) by the
+// controller, which shares it across channels.
+func (c *Channel) Snapshot(e *snapshot.Encoder) {
+	c.south.Snapshot(e)
+	c.north.Snapshot(e)
+	e.Int(len(c.dimmBus))
+	for _, b := range c.dimmBus {
+		b.Snapshot(e)
+	}
+	e.Int(len(c.dimms))
+	for _, d := range c.dimms {
+		d.Snapshot(e)
+	}
+	e.Bool(c.ambs != nil)
+	for _, a := range c.ambs {
+		a.Snapshot(e)
+	}
+	// The in-flight map is written in sorted key order so identical machine
+	// states produce identical snapshot bytes.
+	lines := make([]int64, 0, len(c.inflight))
+	for line := range c.inflight {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	e.Int(len(lines))
+	for _, line := range lines {
+		e.I64(line)
+		e.I64(int64(c.inflight[line]))
+	}
+	c.Counters.Snapshot(e)
+	e.I64(c.Links.BytesNorth)
+	e.I64(c.Links.BytesSouth)
+	e.I64(c.BankConflicts)
+	e.I64(int64(c.lastCmdAt))
+	e.I64(int64(c.lastServiceAt))
+}
+
+// Restore overwrites the channel's mutable state from d. Structural counts
+// must match the constructed configuration.
+func (c *Channel) Restore(d *snapshot.Decoder) {
+	c.south.Restore(d)
+	c.north.Restore(d)
+	if n := d.Int(); n != len(c.dimmBus) {
+		d.Fail("fbdchan: snapshot has %d DIMM buses, machine has %d", n, len(c.dimmBus))
+		return
+	}
+	for _, b := range c.dimmBus {
+		b.Restore(d)
+	}
+	if n := d.Int(); n != len(c.dimms) {
+		d.Fail("fbdchan: snapshot has %d DIMMs, machine has %d", n, len(c.dimms))
+		return
+	}
+	for _, dimm := range c.dimms {
+		dimm.Restore(d)
+	}
+	if haveAMB := d.Bool(); haveAMB != (c.ambs != nil) {
+		d.Fail("fbdchan: snapshot AMB caches %v, machine %v", haveAMB, c.ambs != nil)
+		return
+	}
+	for _, a := range c.ambs {
+		a.Restore(d)
+	}
+	n := d.Count(16)
+	c.inflight = make(map[int64]clock.Time, n)
+	for i := 0; i < n; i++ {
+		line := d.I64()
+		c.inflight[line] = clock.Time(d.I64())
+	}
+	c.Counters.Restore(d)
+	c.Links = LinkStats{BytesNorth: d.I64(), BytesSouth: d.I64()}
+	c.BankConflicts = d.I64()
+	c.lastCmdAt = clock.Time(d.I64())
+	c.lastServiceAt = clock.Time(d.I64())
+}

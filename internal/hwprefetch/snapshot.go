@@ -1,0 +1,45 @@
+package hwprefetch
+
+import "fbdsim/internal/snapshot"
+
+// Snapshot serializes the prefetcher's mutable state: the stream table,
+// the recency tick and the counters. Configuration is construction-derived
+// and not written.
+func (p *Prefetcher) Snapshot(e *snapshot.Encoder) {
+	e.Int(len(p.table))
+	for _, en := range p.table {
+		e.Bool(en.valid)
+		e.I64(en.lastLine)
+		e.I64(en.dir)
+		e.Int(en.score)
+		e.I64(en.head)
+		e.I64(en.use)
+	}
+	e.I64(p.tick)
+	e.I64(p.Trained)
+	e.I64(p.Issued)
+	e.I64(p.Allocated)
+}
+
+// Restore overwrites the prefetcher's mutable state from d. The table size
+// must match the constructed configuration.
+func (p *Prefetcher) Restore(d *snapshot.Decoder) {
+	if n := d.Int(); n != len(p.table) {
+		d.Fail("hwprefetch: snapshot has %d streams, machine has %d", n, len(p.table))
+		return
+	}
+	for i := range p.table {
+		p.table[i] = entry{
+			valid:    d.Bool(),
+			lastLine: d.I64(),
+			dir:      d.I64(),
+			score:    d.Int(),
+			head:     d.I64(),
+			use:      d.I64(),
+		}
+	}
+	p.tick = d.I64()
+	p.Trained = d.I64()
+	p.Issued = d.I64()
+	p.Allocated = d.I64()
+}

@@ -220,8 +220,8 @@ type Epoch struct {
 
 	// AvgReadLatencyNS is the mean end-to-end latency of reads completed
 	// in the epoch; the per-stage means below sum to it exactly.
-	AvgReadLatencyNS float64             `json:"avg_read_latency_ns"`
-	StageMeanNS      [NumStages]float64  `json:"stage_mean_ns"`
+	AvgReadLatencyNS float64            `json:"avg_read_latency_ns"`
+	StageMeanNS      [NumStages]float64 `json:"stage_mean_ns"`
 
 	// QueueDepth is the controller buffer occupancy at the epoch end.
 	QueueDepth int `json:"queue_depth"`
@@ -242,11 +242,11 @@ type Epoch struct {
 // epochAccum accumulates the current epoch; sums are exact picoseconds so
 // the per-stage means provably add up to the end-to-end mean.
 type epochAccum struct {
-	start          clock.Time
-	reads, writes  int64
-	ambHits        int64
-	stageSum       [NumStages]clock.Time
-	e2eSum         clock.Time
+	start         clock.Time
+	reads, writes int64
+	ambHits       int64
+	stageSum      [NumStages]clock.Time
+	e2eSum        clock.Time
 }
 
 // Recorder collects events, per-stage histograms and the epoch time-series

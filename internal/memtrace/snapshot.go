@@ -1,0 +1,198 @@
+package memtrace
+
+import (
+	"fbdsim/internal/clock"
+	"fbdsim/internal/snapshot"
+)
+
+// Snapshot serializes the recorder's mutable state: retained events, the
+// per-stage histograms, the open epoch accumulator, the gauge baseline and
+// the finished epoch rows. The sizing Config is construction-derived and
+// not written. Nil-safe: a disabled recorder writes a zero marker.
+func (r *Recorder) Snapshot(e *snapshot.Encoder) {
+	if r == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Int(len(r.events))
+	for i := range r.events {
+		snapshotEvent(e, &r.events[i])
+	}
+	e.I64(r.dropped)
+	for i := range r.hists {
+		for j := range r.hists[i] {
+			r.hists[i][j].Snapshot(e)
+		}
+	}
+	e.I64(r.writes)
+	e.I64(int64(r.start))
+	snapshotAccum(e, &r.cur)
+	snapshotGauges(e, &r.prev)
+	e.Int(len(r.epochs))
+	for i := range r.epochs {
+		snapshotEpoch(e, &r.epochs[i])
+	}
+	e.I64(r.droppedEpochs)
+}
+
+// Restore overwrites the recorder's mutable state from d. The
+// enabled/disabled marker must match the constructed machine (tracing is
+// part of the configuration fingerprint, so a mismatch means corruption).
+func (r *Recorder) Restore(d *snapshot.Decoder) {
+	present := d.Bool()
+	if present != (r != nil) {
+		d.Fail("memtrace: snapshot recorder presence %v, machine %v", present, r != nil)
+		return
+	}
+	if r == nil {
+		return
+	}
+	n := d.Count(64)
+	r.events = r.events[:0]
+	for i := 0; i < n; i++ {
+		r.events = append(r.events, restoreEvent(d))
+	}
+	r.dropped = d.I64()
+	for i := range r.hists {
+		for j := range r.hists[i] {
+			r.hists[i][j].Restore(d)
+		}
+	}
+	r.writes = d.I64()
+	r.start = clock.Time(d.I64())
+	r.cur = restoreAccum(d)
+	r.prev = restoreGauges(d)
+	n = d.Count(64)
+	r.epochs = r.epochs[:0]
+	for i := 0; i < n; i++ {
+		r.epochs = append(r.epochs, restoreEpoch(d))
+	}
+	r.droppedEpochs = d.I64()
+}
+
+func snapshotEvent(e *snapshot.Encoder, ev *Event) {
+	e.I64(ev.ID)
+	e.I64(ev.Addr)
+	e.Int(ev.Core)
+	e.Bool(ev.Write)
+	e.Bool(ev.SWPrefetch)
+	e.Bool(ev.AMBHit)
+	e.Int(ev.Channel)
+	e.Int(ev.DIMM)
+	e.Int(ev.Bank)
+	e.I64(int64(ev.Created))
+	e.I64(int64(ev.Arrived))
+	e.I64(int64(ev.Issued))
+	e.I64(int64(ev.CmdAt))
+	e.I64(int64(ev.ServiceAt))
+	e.I64(int64(ev.Done))
+}
+
+func restoreEvent(d *snapshot.Decoder) Event {
+	return Event{
+		ID:         d.I64(),
+		Addr:       d.I64(),
+		Core:       d.Int(),
+		Write:      d.Bool(),
+		SWPrefetch: d.Bool(),
+		AMBHit:     d.Bool(),
+		Channel:    d.Int(),
+		DIMM:       d.Int(),
+		Bank:       d.Int(),
+		Created:    clock.Time(d.I64()),
+		Arrived:    clock.Time(d.I64()),
+		Issued:     clock.Time(d.I64()),
+		CmdAt:      clock.Time(d.I64()),
+		ServiceAt:  clock.Time(d.I64()),
+		Done:       clock.Time(d.I64()),
+	}
+}
+
+func snapshotAccum(e *snapshot.Encoder, a *epochAccum) {
+	e.I64(int64(a.start))
+	e.I64(a.reads)
+	e.I64(a.writes)
+	e.I64(a.ambHits)
+	for _, s := range a.stageSum {
+		e.I64(int64(s))
+	}
+	e.I64(int64(a.e2eSum))
+}
+
+func restoreAccum(d *snapshot.Decoder) epochAccum {
+	a := epochAccum{
+		start:   clock.Time(d.I64()),
+		reads:   d.I64(),
+		writes:  d.I64(),
+		ambHits: d.I64(),
+	}
+	for s := range a.stageSum {
+		a.stageSum[s] = clock.Time(d.I64())
+	}
+	a.e2eSum = clock.Time(d.I64())
+	return a
+}
+
+func snapshotGauges(e *snapshot.Encoder, g *Gauges) {
+	e.Int(g.QueueDepth)
+	e.I64(int64(g.NorthBusy))
+	e.I64(int64(g.SouthBusy))
+	e.I64(int64(g.DIMMBusBusy))
+	e.I64(g.ACT)
+	e.I64(g.Prefetched)
+	e.I64(g.PrefetchHits)
+}
+
+func restoreGauges(d *snapshot.Decoder) Gauges {
+	return Gauges{
+		QueueDepth:   d.Int(),
+		NorthBusy:    clock.Time(d.I64()),
+		SouthBusy:    clock.Time(d.I64()),
+		DIMMBusBusy:  clock.Time(d.I64()),
+		ACT:          d.I64(),
+		Prefetched:   d.I64(),
+		PrefetchHits: d.I64(),
+	}
+}
+
+func snapshotEpoch(e *snapshot.Encoder, ep *Epoch) {
+	e.F64(ep.StartNS)
+	e.F64(ep.EndNS)
+	e.I64(ep.Reads)
+	e.I64(ep.Writes)
+	e.I64(ep.AMBHits)
+	e.F64(ep.AMBHitRate)
+	e.F64(ep.AvgReadLatencyNS)
+	for _, m := range ep.StageMeanNS {
+		e.F64(m)
+	}
+	e.Int(ep.QueueDepth)
+	e.F64(ep.NorthUtil)
+	e.F64(ep.SouthUtil)
+	e.F64(ep.DIMMBusUtil)
+	e.I64(ep.ACTs)
+	e.F64(ep.PrefetchAccuracy)
+}
+
+func restoreEpoch(d *snapshot.Decoder) Epoch {
+	ep := Epoch{
+		StartNS:          d.F64(),
+		EndNS:            d.F64(),
+		Reads:            d.I64(),
+		Writes:           d.I64(),
+		AMBHits:          d.I64(),
+		AMBHitRate:       d.F64(),
+		AvgReadLatencyNS: d.F64(),
+	}
+	for s := range ep.StageMeanNS {
+		ep.StageMeanNS[s] = d.F64()
+	}
+	ep.QueueDepth = d.Int()
+	ep.NorthUtil = d.F64()
+	ep.SouthUtil = d.F64()
+	ep.DIMMBusUtil = d.F64()
+	ep.ACTs = d.I64()
+	ep.PrefetchAccuracy = d.F64()
+	return ep
+}

@@ -1,0 +1,28 @@
+package resource
+
+import (
+	"fbdsim/internal/clock"
+	"fbdsim/internal/snapshot"
+)
+
+// Snapshot serializes the timeline's mutable state: the busy calendar and
+// the cumulative reservation total. The quantum is construction-derived
+// and not written.
+func (t *Timeline) Snapshot(e *snapshot.Encoder) {
+	e.Int(len(t.busy))
+	for _, iv := range t.busy {
+		e.I64(int64(iv.start))
+		e.I64(int64(iv.end))
+	}
+	e.I64(int64(t.total))
+}
+
+// Restore overwrites the timeline's mutable state from d.
+func (t *Timeline) Restore(d *snapshot.Decoder) {
+	n := d.Count(16)
+	t.busy = t.busy[:0]
+	for i := 0; i < n; i++ {
+		t.busy = append(t.busy, interval{clock.Time(d.I64()), clock.Time(d.I64())})
+	}
+	t.total = clock.Time(d.I64())
+}

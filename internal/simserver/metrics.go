@@ -17,6 +17,7 @@ type Metrics struct {
 	Completed *stats.Counter // jobs that finished successfully
 	Cancelled *stats.Counter // jobs cancelled before completing
 	Failed    *stats.Counter // jobs that errored
+	Paused    *stats.Counter // jobs checkpointed and stopped via pause
 	Rejected  *stats.Counter // submissions refused with 429 (queue full)
 	Panics    *stats.Counter // simulation panics recovered by the worker pool
 	Retries   *stats.Counter // transient-failure job retries performed
@@ -45,6 +46,7 @@ func newMetrics() *Metrics {
 		Completed:   reg.Counter("jobs_completed"),
 		Cancelled:   reg.Counter("jobs_cancelled"),
 		Failed:      reg.Counter("jobs_failed"),
+		Paused:      reg.Counter("jobs_paused"),
 		Rejected:    reg.Counter("jobs_rejected"),
 		Panics:      reg.Counter("job_panics"),
 		Retries:     reg.Counter("job_retries"),

@@ -10,6 +10,8 @@
 //	GET    /v1/jobs/{id}            poll one job (results embedded when done)
 //	GET    /v1/jobs/{id}/trace      Chrome trace_event JSON (jobs submitted with trace)
 //	GET    /v1/jobs/{id}/timeline   epoch time-series CSV (jobs submitted with trace)
+//	POST   /v1/jobs/{id}/pause      checkpoint a running job at the next boundary and stop it
+//	GET    /v1/jobs/{id}/checkpoint download a paused job's snapshot artifact (binary)
 //	DELETE /v1/jobs/{id}            cancel; returns the job's final state
 //	GET    /v1/results/{key}        direct result-cache lookup by canonical key
 //	POST   /v1/sweeps               submit a sweep grid {name, configs, workloads, seeds, ...}
@@ -146,11 +148,17 @@ const (
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StatePaused means the job's simulation was checkpointed at a cycle
+	// boundary and stopped. The snapshot is served at
+	// /v1/jobs/{id}/checkpoint and a new job submitted with
+	// {"from_checkpoint": id} resumes it; the paused job itself never
+	// transitions again.
+	StatePaused State = "paused"
 )
 
 // terminal reports whether no further transitions can happen.
 func (s State) terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StatePaused
 }
 
 // job is one tracked simulation request.
@@ -168,6 +176,12 @@ type job struct {
 	cancel context.CancelFunc
 	done   chan struct{} // closed on terminal transition
 
+	// pauseTrig asks the simulator to checkpoint at the next cycle
+	// boundary and end the run with system.ErrPaused. restore, when
+	// non-nil, is a snapshot the run starts from instead of cycle zero.
+	pauseTrig *system.Trigger
+	restore   []byte
+
 	mu       sync.Mutex
 	state    State
 	res      system.Results
@@ -175,6 +189,9 @@ type job struct {
 	attempts int
 	started  time.Time
 	finished time.Time
+	// checkpoint is the snapshot captured by a pause, stored before the
+	// paused transition so the artifact is ready the moment done closes.
+	checkpoint []byte
 }
 
 // snapshotView renders the job for JSON responses.
@@ -182,12 +199,13 @@ func (j *job) snapshotView(withResults bool) jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := jobView{
-		ID:         j.id,
-		Key:        j.key,
-		State:      string(j.state),
-		Benchmarks: j.benchmarks,
-		Attempts:   j.attempts,
-		Error:      j.errMsg,
+		ID:              j.id,
+		Key:             j.key,
+		State:           string(j.state),
+		Benchmarks:      j.benchmarks,
+		Attempts:        j.attempts,
+		Error:           j.errMsg,
+		CheckpointBytes: len(j.checkpoint),
 	}
 	if !j.started.IsZero() && !j.finished.IsZero() {
 		wall := j.finished.Sub(j.started)
@@ -307,14 +325,16 @@ type panicError struct{ msg string }
 func (e *panicError) Error() string { return e.msg }
 
 // retryable reports whether a failed attempt may be retried: cancellation,
-// deadline expiry and panics are final; other errors are treated as
+// deadline expiry, panics and pauses are final; other errors are treated as
 // transient when the job asked for retries.
 func retryable(err error) bool {
 	var pe *panicError
 	if errors.As(err, &pe) {
 		return false
 	}
-	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+	return !errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, system.ErrPaused)
 }
 
 // runSim executes one simulation attempt, converting a panic in the
@@ -366,6 +386,23 @@ func (s *Server) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
 		defer cancel()
 	}
+	// Arm the pause trigger: when fired, the simulator snapshots itself at
+	// the next cycle boundary, hands the bytes here, and ends the run with
+	// ErrPaused. The checkpoint is stored before finish() runs, so the
+	// artifact is available the moment the job reports "paused". A RunFunc
+	// that ignores the context (test fakes) simply never pauses.
+	ctx = system.WithCheckpoint(ctx, system.CheckpointSpec{
+		Trigger: j.pauseTrig,
+		OnCheckpoint: func(cp system.Checkpoint) error {
+			j.mu.Lock()
+			j.checkpoint = append([]byte(nil), cp.Data...)
+			j.mu.Unlock()
+			return nil
+		},
+	})
+	if j.restore != nil {
+		ctx = system.WithRestore(ctx, system.RestoreSpec{Data: j.restore})
+	}
 	start := time.Now()
 	var (
 		res system.Results
@@ -397,6 +434,9 @@ func (s *Server) runJob(j *job) {
 		s.metrics.SimCycles.Add(res.Cycles)
 		s.metrics.Completed.Inc()
 		j.finish(StateDone, res, "")
+	case errors.Is(err, system.ErrPaused):
+		s.metrics.Paused.Inc()
+		j.finish(StatePaused, system.Results{}, "")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.metrics.Cancelled.Inc()
 		j.finish(StateCancelled, system.Results{}, err.Error())
@@ -459,23 +499,31 @@ type submitRequest struct {
 	// by the server's MaxJobRetries). Cancellations, deadline expiries
 	// and panics are never retried.
 	Retries int `json:"retries"`
+	// FromCheckpoint names a paused job whose snapshot this submission
+	// resumes. The new job runs the source job's exact configuration and
+	// workload from the checkpointed cycle; every other field except
+	// retries must be left unset (the snapshot's fingerprint pins the
+	// machine identity, so overrides could only fail at restore time).
+	FromCheckpoint string `json:"from_checkpoint"`
 }
 
 // jobView is the JSON rendering of a job.
 type jobView struct {
-	ID         string          `json:"id"`
-	Key        string          `json:"key"`
-	State      string          `json:"state"`
-	Benchmarks []string        `json:"benchmarks,omitempty"`
-	Coalesced  bool            `json:"coalesced,omitempty"`
-	Cached     bool            `json:"cached,omitempty"`
-	Attempts   int             `json:"attempts,omitempty"`
-	WallMS     float64         `json:"wall_ms,omitempty"`
+	ID         string   `json:"id"`
+	Key        string   `json:"key"`
+	State      string   `json:"state"`
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Coalesced  bool     `json:"coalesced,omitempty"`
+	Cached     bool     `json:"cached,omitempty"`
+	Attempts   int      `json:"attempts,omitempty"`
+	WallMS     float64  `json:"wall_ms,omitempty"`
 	// SimCyclesPerSec is the completed job's simulation throughput:
 	// simulated CPU cycles divided by the attempt's wall time.
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
-	Error      string          `json:"error,omitempty"`
-	Results    *system.Results `json:"results,omitempty"`
+	// CheckpointBytes is the size of a paused job's snapshot artifact.
+	CheckpointBytes int             `json:"checkpoint_bytes,omitempty"`
+	Error           string          `json:"error,omitempty"`
+	Results         *system.Results `json:"results,omitempty"`
 }
 
 // Handler returns the server's HTTP API.
@@ -485,6 +533,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("POST /v1/jobs/{id}/pause", s.handlePause)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
@@ -513,6 +563,7 @@ const (
 	codeQueueFull     = "queue_full"
 	codeShuttingDown  = "shutting_down"
 	codeCancelTimeout = "cancel_timeout"
+	codePauseTimeout  = "pause_timeout"
 	codeInternal      = "internal"
 )
 
@@ -610,13 +661,49 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
 		return
 	}
+	if req.FromCheckpoint != "" {
+		s.resumeFromCheckpoint(w, &req)
+		return
+	}
 	cfg, err := s.buildConfig(&req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
-	key := Key(cfg, req.Benchmarks)
+	s.admit(w, Key(cfg, req.Benchmarks), cfg, req.Benchmarks, req.Retries, nil)
+}
 
+// resumeFromCheckpoint admits a job that continues a paused job's simulation
+// from its stored snapshot instead of cycle zero. The resumed run replays
+// the exact machine, so it shares the source job's cache key: a cached or
+// in-flight identical run satisfies the resume without simulating.
+func (s *Server) resumeFromCheckpoint(w http.ResponseWriter, req *submitRequest) {
+	if req.Preset != "" || len(req.Config) > 0 || len(req.Benchmarks) > 0 ||
+		req.Seed != 0 || req.MaxInsts != 0 || req.Warmup != 0 || req.Trace {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"from_checkpoint resumes the source job's exact configuration; only \"retries\" may accompany it")
+		return
+	}
+	src := s.lookup(req.FromCheckpoint)
+	if src == nil {
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job %q", req.FromCheckpoint)
+		return
+	}
+	src.mu.Lock()
+	state, data := src.state, src.checkpoint
+	src.mu.Unlock()
+	if state != StatePaused || len(data) == 0 {
+		writeError(w, http.StatusConflict, codeConflict,
+			"job %s is %s; only a paused job's checkpoint can be resumed", src.id, state)
+		return
+	}
+	s.admit(w, src.key, src.cfg, src.benchmarks, req.Retries, data)
+}
+
+// admit runs the shared admission path: cache fast path, in-flight
+// coalescing, then enqueue. restore, when non-nil, is the snapshot the job
+// starts from.
+func (s *Server) admit(w http.ResponseWriter, key string, cfg config.Config, benchmarks []string, retries int, restore []byte) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -626,7 +713,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Fast path 1: an identical completed run is cached.
 	if res, ok := s.cache.Get(key); ok {
 		id := s.newIDLocked()
-		j := s.newJobLocked(id, key, cfg, req.Benchmarks, 0)
+		j := s.newJobLocked(id, key, cfg, benchmarks, 0)
 		j.finish(StateDone, res, "")
 		j.cancel() // release the job context; nothing will run
 		s.metrics.Accepted.Inc()
@@ -650,7 +737,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Slow path: a fresh simulation must be queued.
 	id := s.newIDLocked()
-	j := s.newJobLocked(id, key, cfg, req.Benchmarks, req.Retries)
+	j := s.newJobLocked(id, key, cfg, benchmarks, retries)
+	j.restore = restore
 	select {
 	case s.queue <- j:
 	default:
@@ -695,6 +783,7 @@ func (s *Server) newJobLocked(id, key string, cfg config.Config, benchmarks []st
 		cancel:     cancel,
 		done:       make(chan struct{}),
 		state:      StateQueued,
+		pauseTrig:  &system.Trigger{},
 	}
 	s.jobs[id] = j
 	return j
@@ -758,6 +847,62 @@ func (s *Server) cancelJob(j *job) {
 	}
 	j.mu.Unlock()
 	j.cancel()
+}
+
+// handlePause fires a running job's pause trigger and waits for the
+// simulator to take the checkpoint. The trigger is observed at the next
+// 1024-cycle boundary, so the wait is milliseconds; the response carries the
+// job's resulting state — normally "paused", or "done" when the run crossed
+// the finish line before the trigger landed.
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
+		return
+	}
+	switch state := j.currentState(); state {
+	case StateRunning:
+	case StateQueued:
+		writeError(w, http.StatusConflict, codeConflict,
+			"job is queued; pause applies to a running job (cancel it instead)")
+		return
+	default:
+		writeError(w, http.StatusConflict, codeConflict, "job is already %s", state)
+		return
+	}
+	j.pauseTrig.Fire()
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		writeError(w, http.StatusRequestTimeout, codePauseTimeout, "pause still in flight")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshotView(false))
+}
+
+// handleCheckpoint serves a paused job's snapshot artifact. The bytes are
+// the simulator's versioned snapshot container, suitable for
+// "from_checkpoint" resubmission or offline fbdsim -restore.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	state, data := j.state, j.checkpoint
+	j.mu.Unlock()
+	switch {
+	case !state.terminal():
+		writeError(w, http.StatusConflict, codeConflict, "job is %s; pause it to produce a checkpoint", state)
+		return
+	case len(data) == 0:
+		writeError(w, http.StatusNotFound, codeNotFound, "job %s has no checkpoint artifact", state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.id+".snapshot"))
+	_, _ = w.Write(data)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"fbdsim/internal/clock"
+	"fbdsim/internal/snapshot"
+)
+
+// Snapshot serializes the histogram: the non-zero buckets (sparse — most
+// of the 328 buckets are empty) plus the running aggregates.
+func (h *Histogram) Snapshot(e *snapshot.Encoder) {
+	nz := 0
+	for _, c := range h.counts {
+		if c != 0 {
+			nz++
+		}
+	}
+	e.Int(nz)
+	for i, c := range h.counts {
+		if c != 0 {
+			e.Int(i)
+			e.I64(c)
+		}
+	}
+	e.I64(h.n)
+	e.I64(int64(h.sum))
+	e.I64(int64(h.min))
+	e.I64(int64(h.max))
+}
+
+// Restore overwrites the histogram from d.
+func (h *Histogram) Restore(d *snapshot.Decoder) {
+	*h = Histogram{}
+	nz := d.Count(16)
+	for i := 0; i < nz; i++ {
+		idx := d.Int()
+		if idx < 0 || idx >= maxBuckets {
+			d.Fail("stats: histogram bucket index %d out of range", idx)
+			return
+		}
+		h.counts[idx] = d.I64()
+	}
+	h.n = d.I64()
+	h.sum = clock.Time(d.I64())
+	h.min = clock.Time(d.I64())
+	h.max = clock.Time(d.I64())
+}

@@ -3,12 +3,10 @@ package sweep
 import (
 	"container/list"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"sync"
 
 	"fbdsim/internal/config"
+	"fbdsim/internal/snapshot"
 	"fbdsim/internal/system"
 )
 
@@ -19,14 +17,11 @@ import (
 // geometry, seed, budget, benchmark order — produces a different key.
 //
 // It is the shared identity across the sweep engine, the exp.Runner memo
-// cache and the simserver job/result API.
+// cache and the simserver job/result API, and doubles as the snapshot
+// fingerprint (the canonicalization lives in internal/snapshot so the
+// system layer can use it without an import cycle).
 func Key(cfg config.Config, benchmarks []string) string {
-	h := sha256.New()
-	enc := json.NewEncoder(h)
-	// Config and []string cannot fail to encode.
-	_ = enc.Encode(cfg)
-	_ = enc.Encode(benchmarks)
-	return hex.EncodeToString(h.Sum(nil))
+	return snapshot.Fingerprint(cfg, benchmarks)
 }
 
 // Cache is a goroutine-safe LRU cache of completed simulation results with

@@ -70,6 +70,13 @@ type Spec struct {
 	Parallel int `json:"parallel,omitempty"`
 	// Journal is the checkpoint file path; empty disables checkpointing.
 	Journal string `json:"-"`
+	// ShareWarmup warms each group of points with an identical warmup
+	// prefix (see WarmupKey) once: the group's first point snapshots the
+	// machine at the warmup boundary and the rest restore it instead of
+	// re-simulating the prefix. Results are bit-identical with or without
+	// sharing, so this is an execution knob, excluded from the spec
+	// fingerprint like Parallel and Journal.
+	ShareWarmup bool `json:"-"`
 }
 
 // Validate reports whether the spec describes a runnable grid.
@@ -221,6 +228,10 @@ type Progress struct {
 	// cache or coalesced onto an in-flight identical run.
 	Replayed  int `json:"replayed"`
 	CacheHits int `json:"cache_hits"`
+	// Warmups counts warmup phases actually simulated. Without warmup
+	// sharing it matches the number of fresh runs with a warmup budget;
+	// with ShareWarmup it drops to one per warmup group.
+	Warmups int `json:"warmups"`
 }
 
 // Options carries the execution dependencies a Spec deliberately excludes.
@@ -246,6 +257,10 @@ type Engine struct {
 	failed    atomic.Int64
 	replayed  atomic.Int64
 	cacheHits atomic.Int64
+	warmups   atomic.Int64
+
+	warmMu     sync.Mutex
+	warmGroups map[string]*warmupGroup
 
 	started atomic.Bool
 }
@@ -263,7 +278,13 @@ func New(spec Spec, opts Options) (*Engine, error) {
 	if cache == nil {
 		cache = NewCache(0)
 	}
-	return &Engine{spec: spec, run: run, cache: cache, defs: spec.expand()}, nil
+	return &Engine{
+		spec:       spec,
+		run:        run,
+		cache:      cache,
+		defs:       spec.expand(),
+		warmGroups: make(map[string]*warmupGroup),
+	}, nil
 }
 
 // Total returns the grid size.
@@ -277,6 +298,7 @@ func (e *Engine) Progress() Progress {
 		Failed:    int(e.failed.Load()),
 		Replayed:  int(e.replayed.Load()),
 		CacheHits: int(e.cacheHits.Load()),
+		Warmups:   int(e.warmups.Load()),
 	}
 }
 
@@ -376,7 +398,7 @@ func (e *Engine) Start(ctx context.Context) (<-chan Point, error) {
 // canonicalization, journaling, emission.
 func (e *Engine) runPoint(ctx context.Context, def pointDef, j *journal, out chan<- Point) {
 	res, hit, err := e.cache.Do(ctx, def.key, func() (system.Results, error) {
-		return e.run(ctx, def.cfg, def.benchmarks)
+		return e.runShard(ctx, def)
 	})
 	p := Point{
 		Index:    def.index,

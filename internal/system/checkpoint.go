@@ -1,0 +1,360 @@
+// Machine-state checkpointing: serialize a running System at a cycle-batch
+// boundary into the versioned internal/snapshot container, and restore one
+// into a freshly constructed System so the run continues bit-identically.
+//
+// Checkpoints are only taken at boundary cycles (multiples of checkInterval,
+// the same boundaries both simulation loops use for warmup and measurement
+// checks), where the reference and event-driven loops present identical
+// machine state: every tick below the boundary cycle has executed, the
+// boundary cycle's tick has not. Restoring therefore resumes either loop
+// with nothing more than the cycle counter and the warmup snapshot.
+package system
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"fbdsim/internal/ambcache"
+	"fbdsim/internal/clock"
+	"fbdsim/internal/fault"
+	"fbdsim/internal/memctrl"
+	"fbdsim/internal/snapshot"
+	"fbdsim/internal/stats"
+)
+
+// ErrPaused is returned by RunContext when a checkpoint Trigger fired: the
+// machine state was delivered to the spec's OnCheckpoint sink and the run
+// stopped at that boundary. It is a clean outcome, not a failure — resubmit
+// the checkpoint to continue.
+var ErrPaused = errors.New("system: run paused at checkpoint")
+
+// Trigger requests an asynchronous pause-checkpoint. Fire may be called from
+// any goroutine; the simulation takes the checkpoint at its next boundary
+// check (within 1024 executed CPU cycles) and returns ErrPaused.
+type Trigger struct {
+	fired atomic.Bool
+}
+
+// Fire requests the checkpoint. Idempotent.
+func (t *Trigger) Fire() { t.fired.Store(true) }
+
+func (t *Trigger) pending() bool { return t != nil && t.fired.Load() }
+
+// Checkpoint is one serialized machine state, delivered to OnCheckpoint.
+type Checkpoint struct {
+	// Data is the complete snapshot container (see internal/snapshot).
+	Data []byte
+	// Cycle is the boundary CPU cycle the state was captured at.
+	Cycle int64
+	// Warm reports whether the warmup boundary had already passed.
+	Warm bool
+}
+
+// CheckpointSpec configures checkpoint capture for one run. Any combination
+// of the three triggers may be armed; AtCycle and AtWarm each fire at most
+// once per run.
+type CheckpointSpec struct {
+	// AtCycle takes a checkpoint at the first boundary at or after this
+	// cycle (<= 0: disabled).
+	AtCycle int64
+	// AtWarm takes a checkpoint at the warmup boundary, immediately after
+	// the measurement baseline is captured and the trace window reset —
+	// the state the sweep engine's shared-warmup cache stores.
+	AtWarm bool
+	// Trigger, when non-nil and fired, takes a checkpoint at the next
+	// boundary and ends the run with ErrPaused.
+	Trigger *Trigger
+	// Fingerprint overrides the identity hash embedded in the snapshot
+	// (empty: the run's own config+workload fingerprint). The sweep engine
+	// stamps shared-warmup checkpoints with the warmup group key so every
+	// member of the group can restore them.
+	Fingerprint string
+	// OnCheckpoint receives each captured checkpoint. A returned error
+	// aborts the run with it. Required for the spec to be useful; runs on
+	// the simulation goroutine.
+	OnCheckpoint func(Checkpoint) error
+}
+
+type checkpointCtxKey struct{}
+
+// WithCheckpoint returns a context that arms checkpoint capture for
+// RunContext calls under it.
+func WithCheckpoint(ctx context.Context, spec CheckpointSpec) context.Context {
+	return context.WithValue(ctx, checkpointCtxKey{}, &spec)
+}
+
+func checkpointFromContext(ctx context.Context) *CheckpointSpec {
+	spec, _ := ctx.Value(checkpointCtxKey{}).(*CheckpointSpec)
+	return spec
+}
+
+// RestoreSpec names a snapshot to restore before running. Fingerprint, when
+// non-empty, overrides the identity the snapshot is validated against (the
+// sweep engine passes the warmup group key).
+type RestoreSpec struct {
+	Data        []byte
+	Fingerprint string
+}
+
+type restoreCtxKey struct{}
+
+// WithRestore returns a context under which RunWorkloadContext restores the
+// given snapshot into the freshly built System before running it.
+func WithRestore(ctx context.Context, spec RestoreSpec) context.Context {
+	return context.WithValue(ctx, restoreCtxKey{}, &spec)
+}
+
+func restoreFromContext(ctx context.Context) *RestoreSpec {
+	spec, _ := ctx.Value(restoreCtxKey{}).(*RestoreSpec)
+	return spec
+}
+
+// Fingerprint returns the config+workload identity hash of this machine —
+// the default identity embedded in its checkpoints.
+func (s *System) Fingerprint() string {
+	return snapshot.Fingerprint(s.cfg, s.names)
+}
+
+// checkpointState tracks per-run one-shot checkpoint triggers.
+type checkpointState struct {
+	warmTaken  bool
+	cycleTaken bool
+}
+
+// maybeCheckpoint runs at every boundary check (both loops, identical
+// machine state): it captures and delivers a checkpoint when a trigger
+// condition holds. justWarmed marks the boundary at which warmup completed.
+// A non-nil return ends the run: ErrPaused for a fired Trigger, or the
+// serialization/sink error.
+func (s *System) maybeCheckpoint(spec *CheckpointSpec, st *checkpointState, cycle int64, warm *warmSnapshot, justWarmed bool) error {
+	take, pause := false, false
+	if spec.Trigger.pending() {
+		take, pause = true, true
+	}
+	if spec.AtWarm && justWarmed && !st.warmTaken {
+		take = true
+		st.warmTaken = true
+	}
+	if spec.AtCycle > 0 && cycle >= spec.AtCycle && !st.cycleTaken {
+		take = true
+		st.cycleTaken = true
+	}
+	if !take {
+		return nil
+	}
+	data, err := s.snapshotBytes(cycle, warm, spec.Fingerprint)
+	if err != nil {
+		return err
+	}
+	if spec.OnCheckpoint != nil {
+		if err := spec.OnCheckpoint(Checkpoint{Data: data, Cycle: cycle, Warm: warm != nil}); err != nil {
+			return err
+		}
+	}
+	if pause {
+		return ErrPaused
+	}
+	return nil
+}
+
+// snapshotBytes serializes the entire machine at boundary cycle into a
+// snapshot container stamped with fingerprint (empty: the machine's own).
+func (s *System) snapshotBytes(cycle int64, warm *warmSnapshot, fingerprint string) ([]byte, error) {
+	if fingerprint == "" {
+		fingerprint = s.Fingerprint()
+	}
+	// Canonicalize the hierarchy's "now" before serializing. At a boundary
+	// the reference loop always holds the previous cycle's time, but the
+	// fast loop may hold an older value from before a skip — harmless there
+	// (it re-pins via SetNow ahead of every controller tick), yet a restored
+	// reference loop would consume the stale stamp directly. Pinning the
+	// canonical value also makes fast- and reference-taken checkpoints
+	// byte-identical.
+	s.hier.SetNow(clock.Time(cycle-1) * clock.CPUCycle)
+	w := snapshot.NewWriter(fingerprint)
+
+	sys := w.Section("system")
+	sys.I64(cycle)
+	sys.Bool(warm != nil)
+	if warm != nil {
+		encodeWarm(sys, warm)
+	}
+
+	cores := w.Section("cores")
+	cores.Int(len(s.cores))
+	for _, c := range s.cores {
+		c.Snapshot(cores)
+	}
+
+	s.hier.Snapshot(w.Section("hier"))
+	s.ctrl.Snapshot(w.Section("memctrl"))
+
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	return w.Finish(), nil
+}
+
+// RestoreSnapshot restores a checkpoint into s, which must be freshly built
+// from the same configuration and workload (New, not yet run). The snapshot
+// is validated against fingerprint (empty: the machine's own identity) and
+// decoded into a scratch machine first, so a corrupt file never leaves s
+// half-mutated: s changes only when the whole restore succeeded.
+func (s *System) RestoreSnapshot(data []byte, fingerprint string) error {
+	if fingerprint == "" {
+		fingerprint = s.Fingerprint()
+	}
+	r, err := snapshot.Open(data, fingerprint)
+	if err != nil {
+		return err
+	}
+	tmp, err := New(s.cfg, s.names)
+	if err != nil {
+		return err
+	}
+
+	sys, err := r.Section("system")
+	if err != nil {
+		return err
+	}
+	cycle := sys.I64()
+	var warm *warmSnapshot
+	if sys.Bool() {
+		warm = decodeWarm(sys)
+	}
+	if cycle < 0 || cycle%checkInterval != 0 {
+		sys.Fail("system: checkpoint cycle %d is not a boundary", cycle)
+	}
+	if err := sys.Done(); err != nil {
+		return err
+	}
+
+	cores, err := r.Section("cores")
+	if err != nil {
+		return err
+	}
+	if n := cores.Int(); n != len(tmp.cores) {
+		cores.Fail("system: snapshot has %d cores, machine has %d", n, len(tmp.cores))
+	}
+	if cores.Err() == nil {
+		for _, c := range tmp.cores {
+			c.Restore(cores)
+		}
+	}
+	if err := cores.Done(); err != nil {
+		return err
+	}
+
+	hier, err := r.Section("hier")
+	if err != nil {
+		return err
+	}
+	tmp.hier.Restore(hier)
+	if err := hier.Done(); err != nil {
+		return err
+	}
+
+	ctrl, err := r.Section("memctrl")
+	if err != nil {
+		return err
+	}
+	onRead, onWrite := tmp.hier.RequestCallbacks()
+	tmp.ctrl.Restore(ctrl, onRead, onWrite)
+	if err := ctrl.Done(); err != nil {
+		return err
+	}
+	if err := r.Strict(); err != nil {
+		return err
+	}
+
+	// Fully decoded: swap the restored machine in. The object graph under
+	// tmp is self-consistent (cores point at tmp.hier, which points at
+	// tmp.ctrl), so swapping the roots is a complete state transplant.
+	s.ctrl, s.hier, s.cores = tmp.ctrl, tmp.hier, tmp.cores
+	s.resumeCycle, s.resumeWarm = cycle, warm
+	return nil
+}
+
+// encodeWarm serializes the warmup-boundary measurement baseline.
+func encodeWarm(e *snapshot.Encoder, w *warmSnapshot) {
+	e.I64(w.cycle)
+	e.I64s(w.committed)
+	w.hist.Snapshot(e)
+	e.I64(w.ctrl.Reads)
+	e.I64(w.ctrl.Writes)
+	e.I64(w.ctrl.AMBHits)
+	e.I64(int64(w.ctrl.ReadLatency))
+	e.I64(w.ctrl.ReadsDone)
+	e.I64(w.ctrl.QueueRejects)
+	w.dram.Snapshot(e)
+	e.I64(w.amb.Reads)
+	e.I64(w.amb.Hits)
+	e.I64(w.amb.Prefetched)
+	e.I64(w.amb.Evictions)
+	e.I64(w.amb.Invalidations)
+	e.I64(w.amb.Scrubs)
+	e.I64(w.faults.SouthFrameErrors)
+	e.I64(w.faults.NorthFrameErrors)
+	e.I64(w.faults.Retries)
+	e.I64(int64(w.faults.RetryLatency))
+	e.I64(w.faults.AMBSoftErrors)
+	e.I64(w.faults.Remapped)
+	e.I64(w.north)
+	e.I64(w.south)
+	e.I64(w.conflicts)
+	e.I64(int64(w.northBusy))
+	e.I64(int64(w.southBusy))
+	e.I64(w.l2Acc)
+	e.I64(w.l2Miss)
+	e.I64(w.demand)
+	e.I64(w.swPrefetch)
+	e.I64(w.hwPrefetch)
+	e.I64(w.writebacks)
+}
+
+func decodeWarm(d *snapshot.Decoder) *warmSnapshot {
+	w := &warmSnapshot{
+		cycle:     d.I64(),
+		committed: d.I64s(),
+		hist:      &stats.Histogram{},
+	}
+	w.hist.Restore(d)
+	w.ctrl = memctrl.Stats{
+		Reads:        d.I64(),
+		Writes:       d.I64(),
+		AMBHits:      d.I64(),
+		ReadLatency:  clock.Time(d.I64()),
+		ReadsDone:    d.I64(),
+		QueueRejects: d.I64(),
+	}
+	w.dram.Restore(d)
+	w.amb = ambcache.Stats{
+		Reads:         d.I64(),
+		Hits:          d.I64(),
+		Prefetched:    d.I64(),
+		Evictions:     d.I64(),
+		Invalidations: d.I64(),
+		Scrubs:        d.I64(),
+	}
+	w.faults = fault.Counters{
+		SouthFrameErrors: d.I64(),
+		NorthFrameErrors: d.I64(),
+		Retries:          d.I64(),
+		RetryLatency:     clock.Time(d.I64()),
+		AMBSoftErrors:    d.I64(),
+		Remapped:         d.I64(),
+	}
+	w.north = d.I64()
+	w.south = d.I64()
+	w.conflicts = d.I64()
+	w.northBusy = clock.Time(d.I64())
+	w.southBusy = clock.Time(d.I64())
+	w.l2Acc = d.I64()
+	w.l2Miss = d.I64()
+	w.demand = d.I64()
+	w.swPrefetch = d.I64()
+	w.hwPrefetch = d.I64()
+	w.writebacks = d.I64()
+	return w
+}

@@ -96,8 +96,10 @@ func (r Results) TotalIPC() float64 {
 	return sum
 }
 
-// snapshot captures every cumulative counter at the warmup boundary.
-type snapshot struct {
+// warmSnapshot captures every cumulative counter at the warmup boundary.
+// (It is a measurement baseline, not a machine checkpoint; full machine
+// serialization lives in checkpoint.go.)
+type warmSnapshot struct {
 	cycle      int64
 	committed  []int64
 	hist       *stats.Histogram
@@ -133,6 +135,12 @@ type System struct {
 	// two loops produce bit-identical Results, so this exists as an escape
 	// hatch and as the oracle for the equivalence property tests.
 	refLoop bool
+
+	// resumeCycle / resumeWarm are set by RestoreSnapshot: the boundary
+	// cycle the loops resume from and the restored warmup baseline (nil if
+	// the checkpoint predates warmup).
+	resumeCycle int64
+	resumeWarm  *warmSnapshot
 }
 
 // New builds a system running one benchmark per core. The Config's
@@ -227,10 +235,10 @@ func (s *System) RunContext(ctx context.Context) (Results, error) {
 // It is the behavioural oracle the fast loop is tested against, and the
 // escape hatch if a model change ever violates a quiescence contract.
 func (s *System) runReference(ctx context.Context) (Results, error) {
-	var (
-		cycle int64
-		warm  *snapshot
-	)
+	cycle := s.resumeCycle
+	warm := s.resumeWarm
+	cp := checkpointFromContext(ctx)
+	var cpSt checkpointState
 	done := ctx.Done()
 	progress := progressFromContext(ctx)
 	maxCycles := s.progressBound()
@@ -259,16 +267,23 @@ func (s *System) runReference(ctx context.Context) (Results, error) {
 		if progress != nil {
 			progress(Progress{Cycle: cycle, Committed: s.minCommitted(), Warm: warm != nil})
 		}
+		justWarmed := false
 		if warm == nil {
 			if s.minCommitted() >= s.cfg.WarmupInsts {
 				snap := s.snapshot(cycle)
 				warm = &snap
+				justWarmed = true
 				// Restart the trace window so the recorder covers exactly
 				// the measured interval (no-op when tracing is off).
 				s.ctrl.ResetTraceMeasurement(clock.Time(cycle) * clock.CPUCycle)
 			}
 		} else if s.maxDelta(warm) >= s.cfg.MaxInsts {
 			return s.results(warm, cycle), nil
+		}
+		if cp != nil {
+			if err := s.maybeCheckpoint(cp, &cpSt, cycle, warm, justWarmed); err != nil {
+				return Results{}, err
+			}
 		}
 		if cycle > maxCycles {
 			return Results{}, s.wedgedError(cycle, maxCycles)
@@ -288,10 +303,10 @@ func (s *System) runReference(ctx context.Context) (Results, error) {
 // reference loop has — stall accounting and the cache-statistics cost of
 // failed dispatch probes — are replayed in bulk.
 func (s *System) runFast(ctx context.Context) (Results, error) {
-	var (
-		cycle int64
-		warm  *snapshot
-	)
+	cycle := s.resumeCycle
+	warm := s.resumeWarm
+	cp := checkpointFromContext(ctx)
+	var cpSt checkpointState
 	done := ctx.Done()
 	progress := progressFromContext(ctx)
 	maxCycles := s.progressBound()
@@ -299,8 +314,13 @@ func (s *System) runFast(ctx context.Context) (Results, error) {
 	// maxCycles; a fully wedged machine fast-forwards straight there.
 	errBoundary := (maxCycles/checkInterval + 1) * checkInterval
 
-	nextCheck := checkInterval // next boundary-check cycle
-	nextTick := int64(0)       // next controller tick cycle (multiple of ratio)
+	// Restore-aware loop state: at a fresh start (cycle 0) these come out to
+	// checkInterval and 0; resuming from a checkpointed boundary X they come
+	// out exactly as the unbroken run would have them at the top of the
+	// iteration that executes cycle X (the boundary's own checks already ran
+	// before the checkpoint was taken).
+	nextCheck := cycle + checkInterval                    // next boundary-check cycle
+	nextTick := (cycle + s.ratio - 1) / s.ratio * s.ratio // next controller tick cycle (multiple of ratio)
 
 	for {
 		// Boundary bookkeeping, hoisted to the loop top (the reference
@@ -320,14 +340,21 @@ func (s *System) runFast(ctx context.Context) (Results, error) {
 			if progress != nil {
 				progress(Progress{Cycle: cycle, Committed: s.minCommitted(), Warm: warm != nil})
 			}
+			justWarmed := false
 			if warm == nil {
 				if s.minCommitted() >= s.cfg.WarmupInsts {
 					snap := s.snapshot(cycle)
 					warm = &snap
+					justWarmed = true
 					s.ctrl.ResetTraceMeasurement(clock.Time(cycle) * clock.CPUCycle)
 				}
 			} else if s.maxDelta(warm) >= s.cfg.MaxInsts {
 				return s.results(warm, cycle), nil
+			}
+			if cp != nil {
+				if err := s.maybeCheckpoint(cp, &cpSt, cycle, warm, justWarmed); err != nil {
+					return Results{}, err
+				}
 			}
 			if cycle > maxCycles {
 				return Results{}, s.wedgedError(cycle, maxCycles)
@@ -486,7 +513,7 @@ func (s *System) minCommitted() int64 {
 	return min
 }
 
-func (s *System) maxDelta(w *snapshot) int64 {
+func (s *System) maxDelta(w *warmSnapshot) int64 {
 	var max int64
 	for i, c := range s.cores {
 		if d := c.Committed - w.committed[i]; d > max {
@@ -496,11 +523,11 @@ func (s *System) maxDelta(w *snapshot) int64 {
 	return max
 }
 
-func (s *System) snapshot(cycle int64) snapshot {
+func (s *System) snapshot(cycle int64) warmSnapshot {
 	north, south := s.ctrl.LinkBytes()
 	nBusy, sBusy := s.ctrl.LinkBusy()
 	l2 := s.hier.L2().Stats
-	return snapshot{
+	return warmSnapshot{
 		cycle:      cycle,
 		committed:  s.committedNow(),
 		hist:       s.ctrl.LatHist.Clone(),
@@ -522,7 +549,7 @@ func (s *System) snapshot(cycle int64) snapshot {
 	}
 }
 
-func (s *System) results(w *snapshot, cycle int64) Results {
+func (s *System) results(w *warmSnapshot, cycle int64) Results {
 	end := s.snapshot(cycle)
 	dc := cycle - w.cycle
 	r := Results{
@@ -601,6 +628,11 @@ func RunWorkloadContext(ctx context.Context, cfg config.Config, benchmarks []str
 	s, err := New(cfg, benchmarks)
 	if err != nil {
 		return Results{}, err
+	}
+	if rs := restoreFromContext(ctx); rs != nil {
+		if err := s.RestoreSnapshot(rs.Data, rs.Fingerprint); err != nil {
+			return Results{}, err
+		}
 	}
 	return s.RunContext(ctx)
 }

@@ -1,0 +1,53 @@
+package trace
+
+import "fbdsim/internal/snapshot"
+
+// Snapshot serializes the generator's mutable state: the PRNG position,
+// every stream's walk, and the queued prefetch. The profile and derived
+// geometry are construction-derived and not written.
+func (g *Synthetic) Snapshot(e *snapshot.Encoder) {
+	e.U64(g.r.state)
+	e.Int(len(g.streams))
+	for _, s := range g.streams {
+		e.I64(s.pos)
+		e.I64(s.segEnd)
+		e.I64(s.lastPF)
+	}
+	snapshotItem(e, g.pending)
+	e.Bool(g.hasPending)
+}
+
+// Restore overwrites the generator's mutable state from d. The stream
+// count must match the constructed profile.
+func (g *Synthetic) Restore(d *snapshot.Decoder) {
+	g.r.state = d.U64()
+	if n := d.Int(); n != len(g.streams) {
+		d.Fail("trace: snapshot has %d streams, machine has %d", n, len(g.streams))
+		return
+	}
+	for i := range g.streams {
+		g.streams[i] = stream{pos: d.I64(), segEnd: d.I64(), lastPF: d.I64()}
+	}
+	g.pending = restoreItem(d)
+	g.hasPending = d.Bool()
+}
+
+// snapshotItem and restoreItem serialize one trace Item; the core model
+// reuses them for its in-flight dispatch item.
+func snapshotItem(e *snapshot.Encoder, it Item) {
+	e.Int(it.Gap)
+	e.Int(int(it.Op))
+	e.I64(it.Addr)
+	e.Bool(it.Dep)
+}
+
+func restoreItem(d *snapshot.Decoder) Item {
+	return Item{Gap: d.Int(), Op: Op(d.Int()), Addr: d.I64(), Dep: d.Bool()}
+}
+
+// SnapshotItem serializes one Item (exported for the core model's
+// dispatch-stream state).
+func SnapshotItem(e *snapshot.Encoder, it Item) { snapshotItem(e, it) }
+
+// RestoreItem decodes one Item.
+func RestoreItem(d *snapshot.Decoder) Item { return restoreItem(d) }
