@@ -1,18 +1,22 @@
 // Command fbdserve runs the simulator as an HTTP service: submit
-// simulation jobs or whole parameter sweeps, poll or cancel them, and
-// fetch cached results, backed by a bounded worker pool with a shared
-// single-flight LRU result cache (see internal/simserver for the API).
+// simulation jobs or whole parameter sweeps, poll or cancel them, stream
+// live telemetry, and fetch cached results, backed by a bounded worker
+// pool with a shared single-flight LRU result cache (see
+// internal/simserver for the API).
 //
 // Examples:
 //
 //	fbdserve -addr :8077
-//	fbdserve -workers 8 -queue 128 -cache 512 -job-timeout 5m
+//	fbdserve -workers 8 -queue 128 -cache 512 -job-timeout 5m -log-format json
 //
 //	curl -X POST localhost:8077/v1/jobs \
 //	     -d '{"preset": "fbd-ap", "benchmarks": ["swim", "applu"], "seed": 1}'
 //	curl localhost:8077/v1/jobs/job-1
+//	curl -N localhost:8077/v1/jobs/job-1/events      # live SSE stream
+//	curl localhost:8077/v1/jobs/job-1/stats          # latest epoch window
 //	curl -X DELETE localhost:8077/v1/jobs/job-1
 //	curl localhost:8077/metrics
+//	curl localhost:8077/v1/dashboard?format=txt      # terminal dashboard
 //
 //	curl -X POST localhost:8077/v1/sweeps -d '{
 //	      "name": "prefetch-compare",
@@ -22,8 +26,13 @@
 //	curl localhost:8077/v1/sweeps/sweep-1
 //	curl localhost:8077/v1/sweeps/sweep-1/results?follow=1
 //
+// Logging is structured (log/slog): -log-format picks text or json,
+// -log-level the threshold. Every request logs one line with a request ID
+// (honoring an incoming X-Request-ID) plus job/sweep correlation.
+//
 // On SIGINT/SIGTERM the server stops accepting work, drains in-flight
-// jobs for -grace, then cancels whatever is still running.
+// jobs for -grace, then cancels whatever is still running. Live SSE
+// streams close as soon as shutdown begins.
 package main
 
 import (
@@ -31,11 +40,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -56,8 +66,16 @@ func main() {
 		sweepCap   = flag.Int("max-sweep-points", 0, "cap on the grid size of one sweep submission (0 = 4096)")
 		grace      = flag.Duration("grace", 30*time.Second, "shutdown grace period before in-flight jobs are cancelled")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (opt-in; keep it private)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	slog.SetDefault(logger)
 
 	sim := simserver.New(simserver.Options{
 		Workers:        *workers,
@@ -69,8 +87,9 @@ func main() {
 		MaxJobRetries:  *jobRetries,
 		SweepParallel:  *sweepPar,
 		MaxSweepPoints: *sweepCap,
+		Logger:         logger,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: sim.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: simserver.AccessLog(logger, sim.Handler())}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -85,16 +104,16 @@ func main() {
 		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("fbdserve: pprof on %s/debug/pprof/", *debugAddr)
+			logger.Info("pprof listening", "addr", *debugAddr, "path", "/debug/pprof/")
 			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
-				log.Printf("fbdserve: debug listener: %v", err)
+				logger.Error("debug listener failed", "err", err)
 			}
 		}()
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("fbdserve: listening on %s", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -104,17 +123,47 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Printf("fbdserve: shutting down (grace %s)", *grace)
+	logger.Info("shutting down", "grace", grace.String())
 	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
-	// Stop the listener first so no new requests arrive, then drain jobs.
-	if err := httpSrv.Shutdown(graceCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("fbdserve: http shutdown: %v", err)
+	// Drain the listener and the worker pool concurrently: sim.Shutdown
+	// signals live SSE streams to end, which is exactly what lets
+	// httpSrv.Shutdown finish draining instead of waiting out the grace
+	// period on a long-lived streaming connection.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := httpSrv.Shutdown(graceCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			logger.Error("http shutdown", "err", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := sim.Shutdown(graceCtx); err != nil {
+			logger.Warn("grace period expired; in-flight jobs cancelled")
+		}
+	}()
+	wg.Wait()
+	logger.Info("bye")
+}
+
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
 	}
-	if err := sim.Shutdown(graceCtx); err != nil {
-		log.Printf("fbdserve: grace period expired; in-flight jobs cancelled")
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
 	}
-	log.Printf("fbdserve: bye")
 }
 
 func fatalf(format string, args ...any) {

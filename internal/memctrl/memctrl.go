@@ -321,12 +321,16 @@ func (c *Controller) recordEvent(req *memreq.Request, ch int) {
 // differences into per-epoch utilizations.
 func (c *Controller) traceGauges() memtrace.Gauges {
 	north, south := c.LinkBusy()
+	dc := c.DRAMCounters()
 	g := memtrace.Gauges{
 		QueueDepth:   c.QueuedReads() + c.QueuedWrites(),
 		NorthBusy:    north,
 		SouthBusy:    south,
 		DIMMBusBusy:  c.dimmBusBusy(),
-		ACT:          c.DRAMCounters().ACT,
+		ACT:          dc.ACT,
+		PRE:          dc.PRE,
+		ColRead:      dc.ColRead,
+		ColWrit:      dc.ColWrit,
 		Prefetched:   0,
 		PrefetchHits: 0,
 	}

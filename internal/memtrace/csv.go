@@ -16,7 +16,7 @@ var timelineHeader = []string{
 	"mshr_ns", "queue_ns", "south_ns", "amb_ns", "dram_ns", "north_ns",
 	"queue_depth",
 	"north_util", "south_util", "dimmbus_util",
-	"acts", "prefetch_accuracy",
+	"acts", "pres", "col_reads", "col_writes", "prefetch_accuracy",
 }
 
 // WriteTimelineCSV exports the epoch time-series as CSV, one row per
@@ -38,7 +38,8 @@ func (s *Summary) WriteTimelineCSV(w io.Writer) error {
 			f(ep.StageMeanNS[StageDRAM]), f(ep.StageMeanNS[StageNorth]),
 			i(int64(ep.QueueDepth)),
 			f(ep.NorthUtil), f(ep.SouthUtil), f(ep.DIMMBusUtil),
-			i(ep.ACTs), f(ep.PrefetchAccuracy),
+			i(ep.ACTs), i(ep.PREs), i(ep.ColReads), i(ep.ColWrites),
+			f(ep.PrefetchAccuracy),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -168,9 +168,29 @@ type Gauges struct {
 	NorthBusy, SouthBusy, DIMMBusBusy clock.Time
 	// ACT is the cumulative bank-activation count (bank-pressure proxy).
 	ACT int64
+	// PRE, ColRead and ColWrit are the cumulative precharge and column
+	// access counts. Together with ACT they let a consumer difference the
+	// Section 5.5 dynamic-energy estimate (internal/power) per epoch.
+	PRE, ColRead, ColWrit int64
 	// Prefetched and PrefetchHits are the cumulative AMB prefetch fills
 	// and hits; their per-epoch ratio is the prefetch accuracy.
 	Prefetched, PrefetchHits int64
+}
+
+// Sink receives live epoch rows as the recorder appends them, turning the
+// post-mortem time-series into a streaming one (the telemetry hub attaches
+// one per traced serving job). Both methods run on the simulation
+// goroutine: implementations must be fast and must never block. A nil sink
+// costs one pointer check per epoch flush — nothing per request.
+type Sink interface {
+	// EpochSample is called exactly when a row is appended to the epoch
+	// series, with the appended row (rows dropped past MaxEpochs are not
+	// delivered, keeping the stream a mirror of the retained series).
+	EpochSample(Epoch)
+	// WindowReset is called when the measurement window restarts (the
+	// warmup boundary): every previously delivered epoch is discarded
+	// from the recorder, and subscribers should do the same.
+	WindowReset()
 }
 
 // Config sizes a Recorder. The zero value gets the documented defaults.
@@ -232,8 +252,13 @@ type Epoch struct {
 	SouthUtil   float64 `json:"south_util"`
 	DIMMBusUtil float64 `json:"dimmbus_util"`
 
-	// ACTs counts bank activations during the epoch.
-	ACTs int64 `json:"acts"`
+	// ACTs counts bank activations during the epoch; PREs the precharges;
+	// ColReads / ColWrites the column accesses. They are the per-epoch
+	// inputs of the Section 5.5 dynamic-energy estimate.
+	ACTs      int64 `json:"acts"`
+	PREs      int64 `json:"pres"`
+	ColReads  int64 `json:"col_reads"`
+	ColWrites int64 `json:"col_writes"`
 	// PrefetchAccuracy is AMB prefetch hits / fills over the epoch
 	// (zero when nothing was prefetched).
 	PrefetchAccuracy float64 `json:"prefetch_accuracy"`
@@ -272,6 +297,11 @@ type Recorder struct {
 
 	epochs        []Epoch
 	droppedEpochs int64
+
+	// sink, when non-nil, receives every appended epoch row live. Not
+	// serialized by Snapshot/Restore: it is serving-side wiring, not
+	// machine state.
+	sink Sink
 }
 
 // New builds a Recorder. The caller seeds the gauge baseline with the first
@@ -286,6 +316,16 @@ func New(cfg Config) *Recorder {
 
 // Enabled reports whether the recorder is live (false for nil).
 func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetSink attaches (or, with nil, detaches) a live epoch sink. Nil-safe;
+// call before simulation starts. The sink is invoked on the simulation
+// goroutine at epoch boundaries only, never per request.
+func (r *Recorder) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.sink = s
+}
 
 // Complete records one finished request. Nil-safe.
 func (r *Recorder) Complete(ev Event) {
@@ -374,6 +414,9 @@ func (r *Recorder) flushEpoch(now clock.Time, g Gauges) {
 		AMBHits:    r.cur.ambHits,
 		QueueDepth: g.QueueDepth,
 		ACTs:       g.ACT - r.prev.ACT,
+		PREs:       g.PRE - r.prev.PRE,
+		ColReads:   g.ColRead - r.prev.ColRead,
+		ColWrites:  g.ColWrit - r.prev.ColWrit,
 	}
 	if ep.Reads > 0 {
 		ep.AMBHitRate = float64(ep.AMBHits) / float64(ep.Reads)
@@ -390,6 +433,9 @@ func (r *Recorder) flushEpoch(now clock.Time, g Gauges) {
 		ep.PrefetchAccuracy = float64(g.PrefetchHits-r.prev.PrefetchHits) / float64(dp)
 	}
 	r.epochs = append(r.epochs, ep)
+	if r.sink != nil {
+		r.sink.EpochSample(ep)
+	}
 }
 
 // ResetMeasurement discards everything recorded so far and restarts the
@@ -413,6 +459,9 @@ func (r *Recorder) ResetMeasurement(now clock.Time, g Gauges) {
 	r.start = now
 	r.cur = epochAccum{start: now}
 	r.prev = g
+	if r.sink != nil {
+		r.sink.WindowReset()
+	}
 }
 
 // StageStats summarizes one lifecycle stage's latency distribution.

@@ -140,6 +140,9 @@ func snapshotGauges(e *snapshot.Encoder, g *Gauges) {
 	e.I64(int64(g.SouthBusy))
 	e.I64(int64(g.DIMMBusBusy))
 	e.I64(g.ACT)
+	e.I64(g.PRE)
+	e.I64(g.ColRead)
+	e.I64(g.ColWrit)
 	e.I64(g.Prefetched)
 	e.I64(g.PrefetchHits)
 }
@@ -151,6 +154,9 @@ func restoreGauges(d *snapshot.Decoder) Gauges {
 		SouthBusy:    clock.Time(d.I64()),
 		DIMMBusBusy:  clock.Time(d.I64()),
 		ACT:          d.I64(),
+		PRE:          d.I64(),
+		ColRead:      d.I64(),
+		ColWrit:      d.I64(),
 		Prefetched:   d.I64(),
 		PrefetchHits: d.I64(),
 	}
@@ -172,6 +178,9 @@ func snapshotEpoch(e *snapshot.Encoder, ep *Epoch) {
 	e.F64(ep.SouthUtil)
 	e.F64(ep.DIMMBusUtil)
 	e.I64(ep.ACTs)
+	e.I64(ep.PREs)
+	e.I64(ep.ColReads)
+	e.I64(ep.ColWrites)
 	e.F64(ep.PrefetchAccuracy)
 }
 
@@ -193,6 +202,9 @@ func restoreEpoch(d *snapshot.Decoder) Epoch {
 	ep.SouthUtil = d.F64()
 	ep.DIMMBusUtil = d.F64()
 	ep.ACTs = d.I64()
+	ep.PREs = d.I64()
+	ep.ColReads = d.I64()
+	ep.ColWrites = d.I64()
 	ep.PrefetchAccuracy = d.F64()
 	return ep
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"fbdsim/internal/clock"
 	"fbdsim/internal/stats"
 )
 
@@ -36,6 +37,15 @@ type Metrics struct {
 	// Per-job wall time of completed simulations.
 	wallMu sync.Mutex
 	wall   stats.Summary
+
+	// Full wall-time distributions: queueWait is submission→start for every
+	// job that reached a worker; runDur is the start→terminal wall time of
+	// every executed job, whatever its outcome. Both histograms observe
+	// durations as clock.Time picoseconds, the registry's histogram
+	// convention, and export as native Prometheus histograms in seconds.
+	histMu    sync.Mutex
+	queueWait stats.Histogram
+	runDur    stats.Histogram
 }
 
 func newMetrics() *Metrics {
@@ -62,7 +72,44 @@ func newMetrics() *Metrics {
 	reg.Func("job_wall_ms_count", func() any { i, _, _ := m.wallSnapshot(); return i })
 	reg.Func("job_wall_ms_mean", func() any { _, mean, _ := m.wallSnapshot(); return mean })
 	reg.Func("job_wall_ms_max", func() any { _, _, max := m.wallSnapshot(); return max })
+	reg.Func("job_queue_wait_seconds", func() any {
+		m.histMu.Lock()
+		defer m.histMu.Unlock()
+		return m.queueWait.Clone()
+	})
+	reg.Func("job_run_seconds", func() any {
+		m.histMu.Lock()
+		defer m.histMu.Unlock()
+		return m.runDur.Clone()
+	})
 	return m
+}
+
+// durationTime converts a wall duration to the histogram domain
+// (clock.Time picoseconds), saturating instead of overflowing.
+func durationTime(d time.Duration) clock.Time {
+	if d < 0 {
+		return 0
+	}
+	ns := d.Nanoseconds()
+	if ns > (1<<62)/1000 {
+		return clock.Time(1 << 62)
+	}
+	return clock.Time(ns * 1000)
+}
+
+// ObserveQueueWait records one job's submission→start wait.
+func (m *Metrics) ObserveQueueWait(d time.Duration) {
+	m.histMu.Lock()
+	m.queueWait.Observe(durationTime(d))
+	m.histMu.Unlock()
+}
+
+// ObserveRunDuration records one executed job's start→terminal wall time.
+func (m *Metrics) ObserveRunDuration(d time.Duration) {
+	m.histMu.Lock()
+	m.runDur.Observe(durationTime(d))
+	m.histMu.Unlock()
 }
 
 // ObserveWall records one completed job's wall time.

@@ -51,6 +51,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -62,6 +64,7 @@ import (
 	"fbdsim/internal/memtrace"
 	"fbdsim/internal/sweep"
 	"fbdsim/internal/system"
+	"fbdsim/internal/telemetry"
 	"fbdsim/internal/trace"
 )
 
@@ -101,6 +104,13 @@ type Options struct {
 	// MaxSweepPoints caps the grid size of one sweep submission
 	// (default 4096).
 	MaxSweepPoints int
+	// Logger receives the server's structured lifecycle log (job and
+	// sweep transitions, shutdown). Defaults to a discard logger so
+	// embedding tests stay quiet; fbdserve passes its process logger.
+	Logger *slog.Logger
+	// Telemetry sizes the live-telemetry hub's per-stream rings; the zero
+	// value takes the hub defaults.
+	Telemetry telemetry.Options
 	// Run overrides the simulation function (tests).
 	Run RunFunc
 }
@@ -132,6 +142,11 @@ func (o Options) norm() Options {
 	}
 	if o.MaxSweepPoints <= 0 {
 		o.MaxSweepPoints = 4096
+	}
+	if o.Logger == nil {
+		// slog.DiscardHandler is newer than this module's Go baseline;
+		// a text handler on io.Discard is the same thing.
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if o.Run == nil {
 		o.Run = system.RunWorkloadContext
@@ -181,6 +196,11 @@ type job struct {
 	// non-nil, is a snapshot the run starts from instead of cycle zero.
 	pauseTrig *system.Trigger
 	restore   []byte
+
+	// stream is the job's live-telemetry channel: lifecycle state events
+	// always, epoch samples when the job is traced. Set at registration,
+	// closed with the terminal state.
+	stream *telemetry.Stream
 
 	mu       sync.Mutex
 	state    State
@@ -247,6 +267,7 @@ func (j *job) finish(state State, res system.Results, errMsg string) {
 	j.finished = time.Now()
 	j.mu.Unlock()
 	close(j.done)
+	j.closeStream(state)
 }
 
 func (j *job) currentState() State {
@@ -261,9 +282,17 @@ type Server struct {
 	metrics *Metrics
 	cache   *sweep.Cache
 	queue   chan *job
+	hub     *telemetry.Hub
+	log     *slog.Logger
+	started time.Time
+	occ     occHistory
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+	// shutdownCh closes the moment Shutdown begins, so long-lived
+	// streaming handlers (SSE) end promptly instead of pinning the HTTP
+	// drain until the grace period expires.
+	shutdownCh chan struct{}
 
 	mu          sync.Mutex
 	jobs        map[string]*job
@@ -288,8 +317,12 @@ func New(opts Options) *Server {
 		metrics:    newMetrics(),
 		cache:      sweep.NewCache(o.CacheEntries),
 		queue:      make(chan *job, o.QueueDepth),
+		hub:        telemetry.NewHub(o.Telemetry),
+		log:        o.Logger,
+		started:    time.Now(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+		shutdownCh: make(chan struct{}),
 		jobs:       make(map[string]*job),
 		byKey:      make(map[string]*job),
 		sweeps:     make(map[string]*sweepJob),
@@ -300,6 +333,8 @@ func New(opts Options) *Server {
 	reg.Func("workers_busy", func() any { return s.busy.Load() })
 	reg.Func("cache_entries", func() any { return s.cache.Len() })
 	reg.Func("sweeps_active", func() any { return s.activeSweeps() })
+	reg.Func("uptime_seconds", func() any { return time.Since(s.started).Seconds() })
+	reg.Func("build_info", func() any { return buildInfo(s.started) })
 	for i := 0; i < o.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -377,6 +412,8 @@ func (s *Server) runJob(j *job) {
 		// Cancelled while queued; cancelJob already finished it.
 		return
 	}
+	s.metrics.ObserveQueueWait(time.Since(j.submitted))
+	j.publishState(StateRunning)
 	s.busy.Add(1)
 	defer s.busy.Add(-1)
 
@@ -403,6 +440,12 @@ func (s *Server) runJob(j *job) {
 	if j.restore != nil {
 		ctx = system.WithRestore(ctx, system.RestoreSpec{Data: j.restore})
 	}
+	// Traced jobs publish their epoch series live: the hub sink rides the
+	// recorder's epoch-flush seam, so untraced jobs pay nothing and traced
+	// ones pay one publish per 1024-cycle measurement boundary.
+	if j.cfg.Trace.Enabled && j.stream != nil {
+		ctx = system.WithEpochSink(ctx, telemetry.NewJobSink(j.stream))
+	}
 	start := time.Now()
 	var (
 		res system.Results
@@ -427,6 +470,8 @@ func (s *Server) runJob(j *job) {
 	}
 	s.mu.Unlock()
 
+	s.metrics.ObserveRunDuration(wall)
+
 	switch {
 	case err == nil:
 		s.cache.Put(j.key, res)
@@ -444,6 +489,12 @@ func (s *Server) runJob(j *job) {
 		s.metrics.Failed.Inc()
 		j.finish(StateFailed, system.Results{}, err.Error())
 	}
+	j.mu.Lock()
+	state, attempts := j.state, j.attempts
+	j.mu.Unlock()
+	s.log.Info("job finished",
+		"job_id", j.id, "state", string(state),
+		"wall_ms", float64(wall)/float64(time.Millisecond), "attempts", attempts)
 }
 
 // Shutdown stops intake, then waits for queued and running jobs to drain.
@@ -459,6 +510,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// No submission can be in flight past this point: enqueue happens
 		// under s.mu with the closed check, so closing the channel is safe.
 		close(s.queue)
+		// Wake every SSE handler so streaming connections end now, not at
+		// the end of the HTTP server's grace period.
+		close(s.shutdownCh)
+		s.log.Info("shutdown started")
 	})
 	drained := make(chan struct{})
 	go func() {
@@ -533,6 +588,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleJobStats)
 	mux.HandleFunc("POST /v1/jobs/{id}/pause", s.handlePause)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -540,7 +597,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	mux.HandleFunc("GET /v1/dashboard", s.handleDashboard)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -754,6 +814,7 @@ func (s *Server) admit(w http.ResponseWriter, key string, cfg config.Config, ben
 	s.metrics.Accepted.Inc()
 	s.metrics.CacheMisses.Inc()
 	s.mu.Unlock()
+	s.log.Info("job accepted", "job_id", j.id, "benchmarks", benchmarks, "traced", cfg.Trace.Enabled)
 	writeJSON(w, http.StatusAccepted, j.snapshotView(false))
 }
 
@@ -784,7 +845,9 @@ func (s *Server) newJobLocked(id, key string, cfg config.Config, benchmarks []st
 		done:       make(chan struct{}),
 		state:      StateQueued,
 		pauseTrig:  &system.Trigger{},
+		stream:     s.hub.Open(id),
 	}
+	j.publishState(StateQueued)
 	s.jobs[id] = j
 	return j
 }
@@ -836,6 +899,7 @@ func (s *Server) cancelJob(j *job) {
 		j.finished = time.Now()
 		j.mu.Unlock()
 		close(j.done)
+		j.closeStream(StateCancelled)
 		s.mu.Lock()
 		if s.byKey[j.key] == j {
 			delete(s.byKey, j.key)

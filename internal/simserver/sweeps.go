@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fbdsim/internal/sweep"
+	"fbdsim/internal/telemetry"
 	"fbdsim/internal/workload"
 )
 
@@ -83,6 +84,10 @@ type sweepJob struct {
 	cancel      context.CancelFunc
 	done        chan struct{} // closed on terminal transition
 
+	// stream is the sweep's live-telemetry channel: lifecycle states plus
+	// one point event per completed grid point.
+	stream *telemetry.Stream
+
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast on point append and terminal transition
 	state    State
@@ -92,7 +97,7 @@ type sweepJob struct {
 	finished time.Time
 }
 
-func newSweepJob(id string, spec sweep.Spec, eng *sweep.Engine, cancel context.CancelFunc) *sweepJob {
+func newSweepJob(id string, spec sweep.Spec, eng *sweep.Engine, cancel context.CancelFunc, stream *telemetry.Stream) *sweepJob {
 	sj := &sweepJob{
 		id:          id,
 		name:        spec.Name,
@@ -100,10 +105,14 @@ func newSweepJob(id string, spec sweep.Spec, eng *sweep.Engine, cancel context.C
 		eng:         eng,
 		cancel:      cancel,
 		done:        make(chan struct{}),
+		stream:      stream,
 		state:       StateRunning,
 		started:     time.Now(),
 	}
 	sj.cond = sync.NewCond(&sj.mu)
+	if stream != nil {
+		stream.PublishState(string(StateRunning))
+	}
 	return sj
 }
 
@@ -134,7 +143,8 @@ func (sj *sweepJob) currentState() State {
 // finish records the terminal state and wakes pollers and followers.
 func (sj *sweepJob) finish(state State, errMsg string) {
 	sj.mu.Lock()
-	if !sj.state.terminal() {
+	closed := sj.state.terminal()
+	if !closed {
 		sj.state = state
 		sj.errMsg = errMsg
 		sj.finished = time.Now()
@@ -142,6 +152,9 @@ func (sj *sweepJob) finish(state State, errMsg string) {
 	}
 	sj.cond.Broadcast()
 	sj.mu.Unlock()
+	if !closed && sj.stream != nil {
+		sj.stream.Close(string(state))
+	}
 }
 
 // buildSweepSpec resolves a sweep request into a validated engine spec,
@@ -254,12 +267,14 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nextSweepID++
-	sj := newSweepJob(fmt.Sprintf("sweep-%d", s.nextSweepID), spec, eng, cancel)
+	id := fmt.Sprintf("sweep-%d", s.nextSweepID)
+	sj := newSweepJob(id, spec, eng, cancel, s.hub.Open(id))
 	s.sweeps[sj.id] = sj
 	s.sweepWG.Add(1)
 	s.mu.Unlock()
 
 	s.metrics.SweepsAccepted.Inc()
+	s.log.Info("sweep accepted", "sweep_id", sj.id, "name", sj.name, "points", eng.Total())
 	go s.drainSweep(sj, ctx, ch)
 	writeJSON(w, http.StatusAccepted, sj.view())
 }
@@ -276,12 +291,20 @@ func (s *Server) drainSweep(sj *sweepJob, ctx context.Context, ch <-chan sweep.P
 		sj.mu.Unlock()
 		emitted++
 		s.metrics.SweepPoints.Inc()
+		if sj.stream != nil {
+			// Same JSON rendering the NDJSON results endpoint streams, so
+			// SSE followers and ?follow=1 tails see identical documents.
+			if data, err := json.Marshal(p); err == nil {
+				sj.stream.PublishPoint(data)
+			}
+		}
 	}
 	// The engine emits one point per grid slot (failed points carry Err);
 	// anything short means cancellation stopped dispatch.
 	if emitted == sj.eng.Total() {
 		s.metrics.SweepsCompleted.Inc()
 		sj.finish(StateDone, "")
+		s.log.Info("sweep finished", "sweep_id", sj.id, "state", string(StateDone), "points", emitted)
 		return
 	}
 	s.metrics.SweepsCancelled.Inc()
@@ -290,6 +313,7 @@ func (s *Server) drainSweep(sj *sweepJob, ctx context.Context, ch <-chan sweep.P
 		msg = err.Error()
 	}
 	sj.finish(StateCancelled, msg)
+	s.log.Info("sweep finished", "sweep_id", sj.id, "state", string(StateCancelled), "points", emitted)
 }
 
 func (s *Server) lookupSweep(id string) *sweepJob {

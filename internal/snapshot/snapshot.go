@@ -35,9 +35,13 @@ import (
 	"fbdsim/internal/config"
 )
 
-// Version is the current snapshot format version. A file written by a
-// future version is refused, never partially interpreted.
-const Version = 1
+// Version is the current snapshot format version. A file written by any
+// other version is refused, never partially interpreted. History:
+//
+//	1  initial container
+//	2  memtrace gauges/epochs gained PRE and column-access counters
+//	   (live power telemetry)
+const Version = 2
 
 // magic identifies a snapshot file. The trailing NUL keeps it from being a
 // prefix of any text format.

@@ -1,10 +1,13 @@
 package stats
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -65,9 +68,15 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
-// WriteJSON renders the registry as an indented JSON object with keys in
-// sorted order (stable output for tests and scrapers).
-func (r *Registry) WriteJSON(w io.Writer) error {
+// Info is a label-set metric: constant facts about the process (version,
+// toolchain, start time) exported Prometheus-style as the constant-1 sample
+// name{key="value",...} 1, the idiom scrapers join other series against.
+// WriteJSON renders it as a plain string map.
+type Info map[string]string
+
+// capture copies the registry's name list (sorted) and value funcs so
+// rendering never holds the registry lock across user callbacks.
+func (r *Registry) capture() ([]string, map[string]func() any) {
 	r.mu.Lock()
 	names := append([]string(nil), r.names...)
 	vars := make(map[string]func() any, len(names))
@@ -76,44 +85,136 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	}
 	r.mu.Unlock()
 	sort.Strings(names)
+	return names, vars
+}
 
-	// Render through an ordered map: encoding/json sorts map keys, which
-	// is exactly the stability we want, but values must be captured first
-	// so a slow marshal does not hold the registry lock.
-	obj := make(map[string]any, len(names))
-	for _, name := range names {
-		obj[name] = vars[name]()
+// WriteJSON renders the registry as an indented JSON object with keys
+// emitted explicitly in sorted order — deterministic output, pinned by a
+// golden test, safe for scrapers to diff.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	names, vars := r.capture()
+	var buf bytes.Buffer
+	buf.WriteString("{")
+	for i, name := range names {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString("\n  ")
+		key, err := json.Marshal(name)
+		if err != nil {
+			return err
+		}
+		buf.Write(key)
+		buf.WriteString(": ")
+		val, err := json.MarshalIndent(vars[name](), "  ", "  ")
+		if err != nil {
+			return fmt.Errorf("metric %q: %w", name, err)
+		}
+		buf.Write(val)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(obj)
+	if len(names) > 0 {
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // WriteProm renders the registry in the Prometheus text exposition format
-// (version 0.0.4): one untyped sample per numeric metric, names sanitized
-// to the Prometheus charset, keys in sorted order. Non-numeric metrics
-// (strings, structs) are skipped — Prometheus samples are float64-valued.
+// (version 0.0.4), keys in sorted order, names sanitized to the Prometheus
+// charset. Value types map onto exposition types:
+//
+//   - numbers and bools: one untyped sample
+//   - *Histogram (clock.Time picoseconds): a native histogram — cumulative
+//     _bucket{le="..."} samples with bounds converted to seconds, then
+//     _sum and _count
+//   - Info: the constant-1 labeled sample name{k="v",...} 1
+//
+// Anything else is skipped.
 func (r *Registry) WriteProm(w io.Writer) error {
-	r.mu.Lock()
-	names := append([]string(nil), r.names...)
-	vars := make(map[string]func() any, len(names))
-	for k, v := range r.vars {
-		vars[k] = v
-	}
-	r.mu.Unlock()
-	sort.Strings(names)
-
+	names, vars := r.capture()
 	for _, name := range names {
-		v, ok := promValue(vars[name]())
-		if !ok {
-			continue
-		}
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s untyped\n%s %s\n", pn, pn, v); err != nil {
+		var err error
+		switch x := vars[name]().(type) {
+		case *Histogram:
+			err = writePromHistogram(w, pn, x)
+		case Info:
+			err = writePromInfo(w, pn, x)
+		default:
+			v, ok := promValue(x)
+			if !ok {
+				continue
+			}
+			_, err = fmt.Fprintf(w, "# TYPE %s untyped\n%s %s\n", pn, pn, v)
+		}
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// promTicksPerSecond converts the histogram domain (clock.Time
+// picoseconds) to the Prometheus convention of seconds. Dividing by the
+// exactly representable 1e12 keeps round values round ("1.002e-06", not
+// "1.0019999999999999e-06").
+const promTicksPerSecond = 1e12
+
+// writePromHistogram renders one *Histogram as a native Prometheus
+// histogram. Bucket bounds are the histogram's internal log-linear bounds
+// in seconds; only non-empty buckets are emitted (counts are cumulative, so
+// eliding empties is lossless), with the mandatory +Inf bucket closing the
+// series.
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	for _, b := range h.CumulativeBuckets() {
+		le := float64(b.Upper) / promTicksPerSecond
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatProm(le), b.Cumulative); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count()); err != nil {
+		return err
+	}
+	sum := float64(h.Sum()) / promTicksPerSecond
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, formatProm(sum), name, h.Count())
+	return err
+}
+
+// writePromInfo renders an Info metric as the constant-1 labeled sample,
+// labels in sorted order with values escaped per the exposition format.
+func writePromInfo(w io.Writer, name string, info Info) error {
+	keys := make([]string, 0, len(info))
+	for k := range info {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(promName(k))
+		sb.WriteString(`="`)
+		sb.WriteString(promEscape(info[k]))
+		sb.WriteByte('"')
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s untyped\n%s{%s} 1\n", name, name, sb.String())
+	return err
+}
+
+// formatProm formats a float the way the exposition format expects.
+func formatProm(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promEscape escapes a label value: backslash, double quote and newline.
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
 }
 
 // promValue formats a metric value as a Prometheus sample, or reports that

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fbdsim/internal/clock"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files with current output")
+
+// A *Histogram metric must render as a native Prometheus histogram:
+// cumulative _bucket samples with seconds bounds, then _sum and _count.
+func TestWritePromHistogram(t *testing.T) {
+	var h Histogram
+	// Three observations in picoseconds: 1 ns, 1 ns, 1 µs.
+	h.Observe(1000)
+	h.Observe(1000)
+	h.Observe(clock.Microsecond)
+
+	reg := &Registry{}
+	reg.Func("req_seconds", func() any { return h.Clone() })
+
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if !strings.Contains(out, "# TYPE req_seconds histogram\n") {
+		t.Errorf("missing histogram TYPE line:\n%s", out)
+	}
+	if !strings.Contains(out, `req_seconds_bucket{le="+Inf"} 3`) {
+		t.Errorf("missing +Inf bucket with total count:\n%s", out)
+	}
+	if !strings.Contains(out, "req_seconds_count 3\n") {
+		t.Errorf("missing _count:\n%s", out)
+	}
+	// Sum = 2*1000ps + 1e6ps = 1.002e6 ps = 1.002e-6 s.
+	if !strings.Contains(out, "req_seconds_sum 1.002e-06\n") {
+		t.Errorf("missing _sum in seconds:\n%s", out)
+	}
+
+	// Bucket lines are cumulative and non-decreasing, and every le bound
+	// parses as a positive float within the ps→s conversion's range.
+	var lastCum int64 = -1
+	buckets := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "req_seconds_bucket{le=\"") || strings.Contains(line, "+Inf") {
+			continue
+		}
+		buckets++
+		le, cum, err := parseBucketLine(line)
+		if err != nil {
+			t.Fatalf("malformed bucket line %q: %v", line, err)
+		}
+		if le <= 0 || le > 1 {
+			t.Errorf("bucket bound %g out of the sub-second range", le)
+		}
+		if cum < lastCum {
+			t.Errorf("bucket counts must be cumulative: %d after %d", cum, lastCum)
+		}
+		lastCum = cum
+	}
+	if buckets == 0 {
+		t.Errorf("no finite bucket lines rendered:\n%s", out)
+	}
+	if lastCum != 3 {
+		t.Errorf("last finite cumulative = %d, want 3 (no observation beyond 1µs)", lastCum)
+	}
+}
+
+// parseBucketLine parses one `name{le="<float>"} <int>` exposition line.
+func parseBucketLine(line string) (le float64, cum int64, err error) {
+	start := strings.Index(line, `le="`) + len(`le="`)
+	end := strings.Index(line[start:], `"`) + start
+	if le, err = strconv.ParseFloat(line[start:end], 64); err != nil {
+		return 0, 0, err
+	}
+	fields := strings.Fields(line)
+	cum, err = strconv.ParseInt(fields[len(fields)-1], 10, 64)
+	return le, cum, err
+}
+
+// An empty histogram still renders a structurally complete exposition.
+func TestWritePromHistogramEmpty(t *testing.T) {
+	reg := &Registry{}
+	reg.Func("idle_seconds", func() any { return &Histogram{} })
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE idle_seconds histogram\n",
+		`idle_seconds_bucket{le="+Inf"} 0`,
+		"idle_seconds_sum 0\n",
+		"idle_seconds_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty histogram output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// An Info metric renders as the constant-1 labeled sample with sorted,
+// escaped labels.
+func TestWritePromInfo(t *testing.T) {
+	reg := &Registry{}
+	reg.Func("build_info", func() any {
+		return Info{"version": "v1.2.3", "go_version": "go1.22", "note": `a"b\c` + "\nd"}
+	})
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `build_info{go_version="go1.22",note="a\"b\\c\nd",version="v1.2.3"} 1` + "\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("info sample wrong:\ngot  %s\nwant %s", sb.String(), want)
+	}
+}
+
+// CumulativeBuckets elides empties and reports cumulative counts at the
+// correct log-linear upper bounds.
+func TestCumulativeBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(0)
+	h.Observe(100)
+	bs := h.CumulativeBuckets()
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %+v, want 2 entries", bs)
+	}
+	if bs[0].Upper != 1 || bs[0].Cumulative != 2 {
+		t.Errorf("first bucket = %+v, want upper 1 cum 2", bs[0])
+	}
+	if bs[1].Cumulative != 3 || bs[1].Upper <= 100 {
+		t.Errorf("second bucket = %+v, want cum 3 with upper > 100", bs[1])
+	}
+}
+
+// The registry's JSON rendering is pinned byte-for-byte: keys sorted,
+// two-space indent, deterministic value formatting. Scrapers and tests
+// diff this output, so accidental reordering or reformatting must fail CI.
+func TestWriteJSONGolden(t *testing.T) {
+	reg := &Registry{}
+	reg.Counter("zeta_total").Add(12)
+	reg.Counter("alpha_total").Add(3)
+	reg.Func("ratio", func() any { return 0.25 })
+	reg.Func("build_info", func() any {
+		return Info{"version": "v0.0.0-test", "go_version": "go-test"}
+	})
+	var h Histogram
+	h.Observe(1000)
+	h.Observe(2000)
+	reg.Func("wait_seconds", func() any { return h.Clone() })
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "registry.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("WriteJSON output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

@@ -178,6 +178,40 @@ func (h *Histogram) Clone() *Histogram {
 	return &c
 }
 
+// BucketCount is one cumulative histogram bucket: Cumulative observations
+// with value < Upper (bucket bounds are half-open [low, high)).
+type BucketCount struct {
+	Upper      clock.Time
+	Cumulative int64
+}
+
+// CumulativeBuckets returns the histogram's non-empty buckets as cumulative
+// counts keyed by bucket upper bound, lowest first — the shape a Prometheus
+// histogram exposition wants. Empty buckets are elided (Prometheus allows
+// arbitrary bound subsets since counts are cumulative); the total
+// observation count is Count() and observations overflowing the last
+// internal bucket appear only in the +Inf bucket the renderer adds.
+func (h *Histogram) CumulativeBuckets() []BucketCount {
+	var out []BucketCount
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if i == maxBuckets-1 {
+			// The final bucket absorbs clamped overflow values, so its
+			// finite bound would lie; leave that mass to the +Inf bucket.
+			break
+		}
+		out = append(out, BucketCount{Upper: bucketLow(i + 1), Cumulative: cum})
+	}
+	return out
+}
+
+// Sum returns the exact sum of all observed values.
+func (h *Histogram) Sum() clock.Time { return h.sum }
+
 // String summarizes the distribution in nanoseconds.
 func (h *Histogram) String() string {
 	if h.n == 0 {

@@ -629,6 +629,10 @@ func RunWorkloadContext(ctx context.Context, cfg config.Config, benchmarks []str
 	if err != nil {
 		return Results{}, err
 	}
+	if sink := EpochSinkFrom(ctx); sink != nil {
+		// Nil-safe: an untraced run has no recorder and keeps no sink.
+		s.ctrl.Recorder().SetSink(sink)
+	}
 	if rs := restoreFromContext(ctx); rs != nil {
 		if err := s.RestoreSnapshot(rs.Data, rs.Fingerprint); err != nil {
 			return Results{}, err

@@ -1,0 +1,38 @@
+package system
+
+import (
+	"context"
+
+	"fbdsim/internal/memtrace"
+)
+
+// This file is the system half of the live-telemetry seam: a context key
+// carrying a memtrace.Sink from the serving layer down to the recorder the
+// machine is built with. The sink receives epoch rows as the simulation
+// crosses 1024-cycle measurement boundaries, turning the post-mortem
+// time-series into a stream without adding a single hot-path branch — the
+// attachment happens once, at machine construction, and the recorder's
+// nil-sink check fires only at epoch flushes.
+
+type epochSinkKey struct{}
+
+// WithEpochSink returns a context that asks RunWorkloadContext to attach
+// sink to the run's memtrace recorder. The sink only fires when the run is
+// traced (Config.Trace.Enabled); an untraced run has no recorder and the
+// sink is silently unused. Sink methods run on the simulation goroutine:
+// they must be fast and must never block, or they will slow the simulation
+// they observe.
+func WithEpochSink(ctx context.Context, sink memtrace.Sink) context.Context {
+	if sink == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, epochSinkKey{}, sink)
+}
+
+// EpochSinkFrom returns the sink installed by WithEpochSink, or nil.
+// Exported so test fakes standing in for the simulation (simserver.RunFunc
+// substitutes) can honor the same contract the real system does.
+func EpochSinkFrom(ctx context.Context) memtrace.Sink {
+	sink, _ := ctx.Value(epochSinkKey{}).(memtrace.Sink)
+	return sink
+}

@@ -1,0 +1,445 @@
+// Package telemetry is the live-introspection hub of the serving layer: a
+// bounded, in-process time-series broker that running simulations publish
+// into at every epoch boundary and that HTTP handlers (SSE streams, the
+// stats endpoint, the dashboard) read out of without ever touching the
+// simulation goroutine.
+//
+// The design goals, in order:
+//
+//  1. The publisher never blocks. Publishing appends to a fixed-size ring
+//     under a mutex and hands copies to subscriber channels with a
+//     non-blocking send; a subscriber that cannot keep up is dropped
+//     (its channel closed) rather than allowed to stall the simulation.
+//  2. Zero cost when nobody is looking. A stream with no subscribers costs
+//     one short critical section per epoch (microseconds of simulated
+//     time apart); an untraced job publishes only a handful of lifecycle
+//     state events over its whole life.
+//  3. Bounded memory. Both the event ring and the sample window are
+//     fixed-capacity; old entries are overwritten, and the drop counters
+//     are exported so truncation is visible, never silent.
+//
+// One Stream exists per serving entity (job or sweep), keyed by its public
+// ID. Events carry a monotonically increasing per-stream sequence number,
+// which the SSE layer exposes as the event id so clients can detect gaps
+// after a reconnect.
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"fbdsim/internal/memtrace"
+	"fbdsim/internal/power"
+)
+
+// Event types published on a stream.
+const (
+	// EventState marks a lifecycle transition; Data is {"state": ...}.
+	EventState = "state"
+	// EventEpoch carries one Sample; Data is the Sample JSON.
+	EventEpoch = "epoch"
+	// EventReset marks a measurement-window restart (the warmup
+	// boundary): every epoch published before it belongs to warmup and is
+	// not part of the final exported series.
+	EventReset = "reset"
+	// EventPoint carries one completed sweep grid point; Data is the same
+	// JSON rendering the sweep NDJSON endpoint streams.
+	EventPoint = "point"
+	// EventEnd is the terminal event of a stream; Data is {"state": ...}.
+	// No events follow it and subscriber channels close after delivering
+	// it.
+	EventEnd = "end"
+)
+
+// Event is one published stream entry. Data is pre-marshaled at publish
+// time so fan-out to N subscribers shares one rendering.
+type Event struct {
+	Seq  int64           `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Sample is one memtrace epoch fused with the serving-side derivations the
+// dashboard and SSE clients want next to it: the Section 5.5 dynamic-energy
+// delta and the wall-clock simulation speed while the epoch ran.
+type Sample struct {
+	memtrace.Epoch
+	// DynamicEnergy is the epoch's DRAM dynamic-energy delta in
+	// column-access units under power.PaperWeights (ACT/PRE pairs
+	// weighted 4:1 against column accesses).
+	DynamicEnergy float64 `json:"dynamic_energy"`
+	// SimCyclesPerSec is simulated CPU cycles in the epoch divided by the
+	// wall time since the previous epoch landed — the live analogue of
+	// the job view's sim_cycles_per_sec. Zero for the first sample of a
+	// window.
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+}
+
+// Hub owns one Stream per live serving entity. The zero value is not
+// usable; call NewHub.
+type Hub struct {
+	mu      sync.Mutex
+	streams map[string]*Stream
+	opts    Options
+}
+
+// Options sizes a Hub's streams. The zero value gets defaults.
+type Options struct {
+	// MaxEvents bounds each stream's replayable event ring (default
+	// 4096). Subscribers joining late replay at most this many events.
+	MaxEvents int
+	// MaxSamples bounds each stream's retained sample window for the
+	// stats endpoint and the dashboard (default 512).
+	MaxSamples int
+	// SubBuffer is each subscriber channel's capacity (default 256); a
+	// subscriber this far behind is dropped.
+	SubBuffer int
+}
+
+func (o Options) norm() Options {
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 4096
+	}
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = 512
+	}
+	if o.SubBuffer <= 0 {
+		o.SubBuffer = 256
+	}
+	return o
+}
+
+// NewHub builds an empty hub.
+func NewHub(opts Options) *Hub {
+	return &Hub{streams: make(map[string]*Stream), opts: opts.norm()}
+}
+
+// Open returns the stream for id, creating it if needed.
+func (h *Hub) Open(id string) *Stream {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st, ok := h.streams[id]; ok {
+		return st
+	}
+	st := &Stream{
+		id:      id,
+		events:  make([]Event, 0, min(h.opts.MaxEvents, 64)),
+		samples: make([]Sample, 0, min(h.opts.MaxSamples, 64)),
+		opts:    h.opts,
+		subs:    make(map[*Subscriber]struct{}),
+	}
+	h.streams[id] = st
+	return st
+}
+
+// Get returns the stream for id, or nil when none was opened.
+func (h *Hub) Get(id string) *Stream {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.streams[id]
+}
+
+// Stream is the bounded event log plus sample window of one entity.
+type Stream struct {
+	id   string
+	opts Options
+
+	mu  sync.Mutex
+	seq int64
+	// events is a ring: when full, eventHead marks the oldest entry and
+	// appends overwrite in place.
+	events    []Event
+	eventHead int
+	// samples is the same ring structure over epoch samples only, the
+	// latest-window view the stats endpoint serves.
+	samples    []Sample
+	sampleHead int
+
+	subs        map[*Subscriber]struct{}
+	closed      bool
+	state       string
+	droppedSubs int64
+	resets      int64
+}
+
+// ID returns the stream's key (the job or sweep ID).
+func (st *Stream) ID() string { return st.id }
+
+// Subscriber is one live listener. Receive events from C; the channel
+// closes when the stream ends, the subscriber falls too far behind, or
+// Cancel is called.
+type Subscriber struct {
+	C    <-chan Event
+	ch   chan Event
+	st   *Stream
+	dead bool // guarded by st.mu
+}
+
+// Cancel detaches the subscriber and closes its channel. Safe to call more
+// than once, and safe concurrently with stream publishes.
+func (sub *Subscriber) Cancel() {
+	st := sub.st
+	st.mu.Lock()
+	st.dropLocked(sub)
+	st.mu.Unlock()
+}
+
+// dropLocked removes a subscriber and closes its channel exactly once.
+// Caller holds st.mu.
+func (st *Stream) dropLocked(sub *Subscriber) {
+	if sub.dead {
+		return
+	}
+	sub.dead = true
+	delete(st.subs, sub)
+	close(sub.ch)
+}
+
+// Subscribe registers a listener and returns the replayable history along
+// with it: every event still in the ring, atomically consistent with the
+// subscription point (no event is both missing from the replay and never
+// sent to the channel). On a closed stream the subscriber's channel is
+// already closed; the replay still carries the history including the end
+// event.
+func (st *Stream) Subscribe() (replay []Event, sub *Subscriber) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	replay = st.eventsLocked()
+	ch := make(chan Event, st.opts.SubBuffer)
+	sub = &Subscriber{C: ch, ch: ch, st: st}
+	if st.closed {
+		sub.dead = true
+		close(ch)
+		return replay, sub
+	}
+	st.subs[sub] = struct{}{}
+	return replay, sub
+}
+
+// eventsLocked copies the ring oldest-first. Caller holds st.mu.
+func (st *Stream) eventsLocked() []Event {
+	if len(st.events) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(st.events))
+	out = append(out, st.events[st.eventHead:]...)
+	out = append(out, st.events[:st.eventHead]...)
+	return out
+}
+
+// publish appends one event and fans it out. The send to each subscriber
+// is non-blocking: a full channel means the subscriber is consuming slower
+// than the simulation produces, and it is dropped on the spot — the
+// simulation goroutine never waits on a network peer.
+func (st *Stream) publish(typ string, data json.RawMessage) Event {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.publishLocked(typ, data)
+}
+
+func (st *Stream) publishLocked(typ string, data json.RawMessage) Event {
+	if st.closed {
+		return Event{}
+	}
+	st.seq++
+	ev := Event{Seq: st.seq, Type: typ, Data: data}
+	if len(st.events) < st.opts.MaxEvents {
+		st.events = append(st.events, ev)
+	} else {
+		st.events[st.eventHead] = ev
+		st.eventHead = (st.eventHead + 1) % len(st.events)
+	}
+	for sub := range st.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			st.droppedSubs++
+			st.dropLocked(sub)
+		}
+	}
+	return ev
+}
+
+func marshal(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Every published payload is a struct of plain fields; a marshal
+		// failure is a programming error, not a runtime condition.
+		panic("telemetry: marshal: " + err.Error())
+	}
+	return b
+}
+
+type stateBody struct {
+	State string `json:"state"`
+}
+
+// PublishState records a lifecycle transition.
+func (st *Stream) PublishState(state string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.state = state
+	st.publishLocked(EventState, marshal(stateBody{State: state}))
+}
+
+// PublishSample records one fused epoch sample: into the sample window and
+// out to subscribers as an epoch event.
+func (st *Stream) PublishSample(s Sample) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	if len(st.samples) < st.opts.MaxSamples {
+		st.samples = append(st.samples, s)
+	} else {
+		st.samples[st.sampleHead] = s
+		st.sampleHead = (st.sampleHead + 1) % len(st.samples)
+	}
+	st.publishLocked(EventEpoch, marshal(&s))
+}
+
+// PublishReset clears the sample window (the epochs published so far were
+// warmup) and tells subscribers to do the same.
+func (st *Stream) PublishReset() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.samples = st.samples[:0]
+	st.sampleHead = 0
+	st.resets++
+	st.publishLocked(EventReset, marshal(struct {
+		Reason string `json:"reason"`
+	}{Reason: "measurement_start"}))
+}
+
+// PublishPoint records one completed sweep grid point (pre-marshaled by
+// the caller so the stream shares the NDJSON endpoint's exact rendering).
+func (st *Stream) PublishPoint(data json.RawMessage) {
+	st.publish(EventPoint, data)
+}
+
+// Close publishes the terminal end event carrying finalState and closes
+// every subscriber channel. Further publishes are no-ops. Safe to call
+// more than once.
+func (st *Stream) Close(finalState string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.state = finalState
+	st.publishLocked(EventEnd, marshal(stateBody{State: finalState}))
+	st.closed = true
+	for sub := range st.subs {
+		st.dropLocked(sub)
+	}
+}
+
+// Stats is the latest-window snapshot the polling endpoint serves.
+type Stats struct {
+	ID    string `json:"id"`
+	State string `json:"state,omitempty"`
+	// Seq is the last published sequence number; clients comparing it
+	// across polls can tell whether anything happened.
+	Seq int64 `json:"seq"`
+	// Resets counts measurement-window restarts (1 once warmup ended).
+	Resets int64 `json:"resets"`
+	// DroppedSubscribers counts listeners dropped for falling behind.
+	DroppedSubscribers int64 `json:"dropped_subscribers"`
+	// Samples is the retained latest window, oldest first; Latest
+	// duplicates its last entry for cheap single-value consumers.
+	Samples []Sample `json:"samples,omitempty"`
+	Latest  *Sample  `json:"latest,omitempty"`
+}
+
+// Snapshot returns the latest-window view: up to lastN samples (0 or
+// negative means the whole retained window) plus the stream counters.
+func (st *Stream) Snapshot(lastN int) Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := Stats{
+		ID:                 st.id,
+		State:              st.state,
+		Seq:                st.seq,
+		Resets:             st.resets,
+		DroppedSubscribers: st.droppedSubs,
+	}
+	n := len(st.samples)
+	if n == 0 {
+		return out
+	}
+	samples := make([]Sample, 0, n)
+	samples = append(samples, st.samples[st.sampleHead:]...)
+	samples = append(samples, st.samples[:st.sampleHead]...)
+	if lastN > 0 && lastN < len(samples) {
+		samples = samples[len(samples)-lastN:]
+	}
+	out.Samples = samples
+	out.Latest = &samples[len(samples)-1]
+	return out
+}
+
+// JobSink adapts a Stream to the memtrace.Sink seam, fusing each epoch row
+// with the power-model energy delta and the live simulation speed. It runs
+// on the simulation goroutine; both methods do a bounded amount of work and
+// never block (Stream publishes are non-blocking by construction).
+type JobSink struct {
+	st       *Stream
+	weights  power.Weights
+	lastWall time.Time
+	first    bool
+}
+
+// NewJobSink builds a sink publishing into st with the paper's 4:1 energy
+// calibration.
+func NewJobSink(st *Stream) *JobSink {
+	return &JobSink{st: st, weights: power.PaperWeights(), first: true}
+}
+
+// EpochSample implements memtrace.Sink.
+func (s *JobSink) EpochSample(ep memtrace.Epoch) {
+	now := time.Now()
+	sample := Sample{Epoch: ep, DynamicEnergy: EpochDynamicEnergy(ep, s.weights)}
+	if !s.first {
+		if wall := now.Sub(s.lastWall).Seconds(); wall > 0 {
+			// 1 ns of simulated time is 4 CPU cycles at the modelled 4 GHz.
+			simCycles := (ep.EndNS - ep.StartNS) * 4
+			sample.SimCyclesPerSec = simCycles / wall
+		}
+	}
+	s.first = false
+	s.lastWall = now
+	s.st.PublishSample(sample)
+}
+
+// WindowReset implements memtrace.Sink.
+func (s *JobSink) WindowReset() {
+	s.first = true
+	s.st.PublishReset()
+}
+
+// EpochDynamicEnergy is the Section 5.5 dynamic-energy delta of one epoch
+// in column-access units: ACT/PRE pairs (the larger of the two counts, so
+// no event is dropped when rows stay open across the boundary) weighted
+// against column accesses.
+func EpochDynamicEnergy(ep memtrace.Epoch, w power.Weights) float64 {
+	pairs := ep.ACTs
+	if ep.PREs > pairs {
+		pairs = ep.PREs
+	}
+	return float64(pairs)*w.ACTPREPair + float64(ep.ColReads+ep.ColWrites)*w.ColumnAccess
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"fbdsim/internal/memtrace"
+	"fbdsim/internal/power"
+)
+
+func sampleAt(i int) Sample {
+	return Sample{Epoch: memtrace.Epoch{StartNS: float64(i) * 256, EndNS: float64(i+1) * 256, Reads: int64(i)}}
+}
+
+func TestSubscribeReplayThenLive(t *testing.T) {
+	hub := NewHub(Options{})
+	st := hub.Open("job-1")
+	st.PublishState("queued")
+	st.PublishState("running")
+	st.PublishSample(sampleAt(0))
+
+	replay, sub := st.Subscribe()
+	if len(replay) != 3 {
+		t.Fatalf("replay = %d events, want 3", len(replay))
+	}
+	if replay[0].Type != EventState || replay[2].Type != EventEpoch {
+		t.Fatalf("replay types = %q, %q", replay[0].Type, replay[2].Type)
+	}
+	for i, ev := range replay {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("replay[%d].Seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+
+	st.PublishSample(sampleAt(1))
+	ev := <-sub.C
+	if ev.Type != EventEpoch || ev.Seq != 4 {
+		t.Fatalf("live event = %+v", ev)
+	}
+	var got Sample
+	if err := json.Unmarshal(ev.Data, &got); err != nil {
+		t.Fatalf("unmarshal live sample: %v", err)
+	}
+	if got.Reads != 1 {
+		t.Fatalf("live sample Reads = %d, want 1", got.Reads)
+	}
+
+	st.Close("done")
+	end := <-sub.C
+	if end.Type != EventEnd {
+		t.Fatalf("terminal event type = %q, want %q", end.Type, EventEnd)
+	}
+	if _, ok := <-sub.C; ok {
+		t.Fatal("channel still open after end event")
+	}
+}
+
+func TestEventRingBounded(t *testing.T) {
+	hub := NewHub(Options{MaxEvents: 8})
+	st := hub.Open("job-1")
+	for i := 0; i < 20; i++ {
+		st.PublishSample(sampleAt(i))
+	}
+	replay, sub := st.Subscribe()
+	defer sub.Cancel()
+	if len(replay) != 8 {
+		t.Fatalf("replay = %d events, want ring cap 8", len(replay))
+	}
+	// Oldest-first, ending at the most recent publish.
+	if replay[0].Seq != 13 || replay[7].Seq != 20 {
+		t.Fatalf("replay seq range = [%d, %d], want [13, 20]", replay[0].Seq, replay[7].Seq)
+	}
+}
+
+func TestSampleWindowBounded(t *testing.T) {
+	hub := NewHub(Options{MaxSamples: 4})
+	st := hub.Open("job-1")
+	for i := 0; i < 10; i++ {
+		st.PublishSample(sampleAt(i))
+	}
+	stats := st.Snapshot(0)
+	if len(stats.Samples) != 4 {
+		t.Fatalf("window = %d samples, want 4", len(stats.Samples))
+	}
+	if stats.Samples[0].Reads != 6 || stats.Samples[3].Reads != 9 {
+		t.Fatalf("window reads = [%d..%d], want [6..9]", stats.Samples[0].Reads, stats.Samples[3].Reads)
+	}
+	if stats.Latest == nil || stats.Latest.Reads != 9 {
+		t.Fatalf("latest = %+v, want Reads 9", stats.Latest)
+	}
+
+	limited := st.Snapshot(2)
+	if len(limited.Samples) != 2 || limited.Samples[0].Reads != 8 {
+		t.Fatalf("lastN=2 window = %+v", limited.Samples)
+	}
+}
+
+func TestResetClearsWindow(t *testing.T) {
+	hub := NewHub(Options{})
+	st := hub.Open("job-1")
+	st.PublishSample(sampleAt(0))
+	st.PublishSample(sampleAt(1))
+	st.PublishReset()
+	st.PublishSample(sampleAt(2))
+
+	stats := st.Snapshot(0)
+	if stats.Resets != 1 {
+		t.Fatalf("resets = %d, want 1", stats.Resets)
+	}
+	if len(stats.Samples) != 1 || stats.Samples[0].Reads != 2 {
+		t.Fatalf("post-reset window = %+v, want one sample with Reads 2", stats.Samples)
+	}
+}
+
+// A subscriber that stops reading must be dropped — its channel closed —
+// without the publisher ever blocking.
+func TestSlowSubscriberDropped(t *testing.T) {
+	hub := NewHub(Options{SubBuffer: 2})
+	st := hub.Open("job-1")
+	_, slow := st.Subscribe()
+	_, fast := st.Subscribe()
+
+	// Publish from this goroutine with nobody draining slow: 2 events fill
+	// slow's buffer, the 3rd drops it, and no publish ever blocks. fast is
+	// drained after each publish, so it stays within its buffer and lives.
+	for i := 0; i < 5; i++ {
+		st.PublishSample(sampleAt(i))
+		if _, ok := <-fast.C; !ok {
+			t.Fatal("fast subscriber dropped while keeping up")
+		}
+	}
+
+	// slow got the buffered 2 then a close.
+	n := 0
+	for range slow.C {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("slow subscriber received %d events before drop, want 2", n)
+	}
+	if got := st.Snapshot(0).DroppedSubscribers; got != 1 {
+		t.Fatalf("dropped_subscribers = %d, want 1", got)
+	}
+	fast.Cancel()
+}
+
+func TestSubscribeAfterClose(t *testing.T) {
+	hub := NewHub(Options{})
+	st := hub.Open("job-1")
+	st.PublishState("running")
+	st.Close("failed")
+	st.PublishSample(sampleAt(0)) // no-op after close
+
+	replay, sub := st.Subscribe()
+	if len(replay) != 2 || replay[1].Type != EventEnd {
+		t.Fatalf("post-close replay = %+v, want [state, end]", replay)
+	}
+	if _, ok := <-sub.C; ok {
+		t.Fatal("post-close subscriber channel not closed")
+	}
+	if st.Snapshot(0).State != "failed" {
+		t.Fatalf("state = %q, want failed", st.Snapshot(0).State)
+	}
+	sub.Cancel() // double-cancel safe
+	sub.Cancel()
+}
+
+func TestHubOpenIdempotent(t *testing.T) {
+	hub := NewHub(Options{})
+	a := hub.Open("x")
+	b := hub.Open("x")
+	if a != b {
+		t.Fatal("Open returned distinct streams for one id")
+	}
+	if hub.Get("x") != a {
+		t.Fatal("Get missed an opened stream")
+	}
+	if hub.Get("y") != nil {
+		t.Fatal("Get invented a stream")
+	}
+}
+
+// Concurrent publishers, subscribers, snapshotters, and cancels: the test
+// is the race detector. Subscribers drain until their channel closes —
+// which the hub guarantees happens, via drop (slow), Cancel (voluntary) or
+// stream Close (terminal) — so nothing here can block forever.
+func TestConcurrentPublishSubscribe(t *testing.T) {
+	hub := NewHub(Options{MaxEvents: 32, MaxSamples: 16, SubBuffer: 4})
+	st := hub.Open("job-1")
+	var pubWG, subWG sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			for i := 0; i < 200; i++ {
+				st.PublishSample(sampleAt(p*200 + i))
+			}
+		}(p)
+	}
+	for s := 0; s < 4; s++ {
+		subWG.Add(1)
+		go func(s int) {
+			defer subWG.Done()
+			for i := 0; i < 10; i++ {
+				_, sub := st.Subscribe()
+				n := 0
+				for range sub.C {
+					if n++; s%2 == 0 && n >= 5 {
+						// Voluntary cancel mid-stream; the close makes the
+						// range drain and exit.
+						sub.Cancel()
+					}
+				}
+			}
+		}(s)
+	}
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		for i := 0; i < 100; i++ {
+			_ = st.Snapshot(8)
+		}
+	}()
+	pubWG.Wait()
+	st.Close("done")
+	st.Close("done") // idempotent
+	subWG.Wait()
+}
+
+func TestJobSinkFusion(t *testing.T) {
+	hub := NewHub(Options{})
+	st := hub.Open("job-1")
+	sink := NewJobSink(st)
+
+	ep := memtrace.Epoch{StartNS: 0, EndNS: 256, ACTs: 10, PREs: 12, ColReads: 30, ColWrites: 10}
+	sink.EpochSample(ep)
+	stats := st.Snapshot(0)
+	if stats.Latest == nil {
+		t.Fatal("no sample published")
+	}
+	// pairs = max(10, 12) = 12; 12*4 + 40*1 = 88 under paper weights.
+	if got := stats.Latest.DynamicEnergy; got != 88 {
+		t.Fatalf("DynamicEnergy = %v, want 88", got)
+	}
+	if stats.Latest.SimCyclesPerSec != 0 {
+		t.Fatalf("first sample SimCyclesPerSec = %v, want 0", stats.Latest.SimCyclesPerSec)
+	}
+
+	sink.EpochSample(memtrace.Epoch{StartNS: 256, EndNS: 512})
+	if got := st.Snapshot(0).Latest.SimCyclesPerSec; got <= 0 {
+		t.Fatalf("second sample SimCyclesPerSec = %v, want > 0", got)
+	}
+
+	// WindowReset clears and re-arms the first-sample rate suppression.
+	sink.WindowReset()
+	sink.EpochSample(memtrace.Epoch{StartNS: 512, EndNS: 768})
+	stats = st.Snapshot(0)
+	if stats.Resets != 1 || len(stats.Samples) != 1 {
+		t.Fatalf("post-reset stats = %+v", stats)
+	}
+	if stats.Latest.SimCyclesPerSec != 0 {
+		t.Fatalf("post-reset first sample rate = %v, want 0", stats.Latest.SimCyclesPerSec)
+	}
+}
+
+func TestEpochDynamicEnergyPairsRule(t *testing.T) {
+	w := power.PaperWeights()
+	// ACTs > PREs: pairs follow ACTs.
+	if got := EpochDynamicEnergy(memtrace.Epoch{ACTs: 5, PREs: 3, ColReads: 2}, w); got != 22 {
+		t.Fatalf("energy = %v, want 22", got)
+	}
+	// Zero epoch costs zero.
+	if got := EpochDynamicEnergy(memtrace.Epoch{}, w); got != 0 {
+		t.Fatalf("zero epoch energy = %v, want 0", got)
+	}
+}
