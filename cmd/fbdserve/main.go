@@ -26,6 +26,15 @@
 //	curl localhost:8077/v1/sweeps/sweep-1
 //	curl localhost:8077/v1/sweeps/sweep-1/results?follow=1
 //
+// Distributed sweeps: one fbdserve becomes the coordinator, any number
+// of others join it as workers; sweeps submitted to the coordinator are
+// leased out across the fleet and survive worker crashes (see
+// internal/cluster).
+//
+//	fbdserve -addr :8090 -coordinator -journal-dir /var/lib/fbdsim
+//	fbdserve -addr :8091 -join http://coord:8090 -journal-dir /var/lib/w1
+//	curl localhost:8090/v1/cluster                   # membership + counters
+//
 // Logging is structured (log/slog): -log-format picks text or json,
 // -log-level the threshold. Every request logs one line with a request ID
 // (honoring an incoming X-Request-ID) plus job/sweep correlation.
@@ -45,10 +54,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"fbdsim/internal/cluster"
 	"fbdsim/internal/simserver"
 )
 
@@ -68,6 +79,14 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (opt-in; keep it private)")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+
+		coordFlag  = flag.Bool("coordinator", false, "run as a cluster coordinator: shard sweeps across joined workers")
+		joinURL    = flag.String("join", "", "join this coordinator URL as a sweep worker")
+		advertise  = flag.String("advertise", "", "base URL the coordinator should dispatch leases to (default: derived from -addr)")
+		journalDir = flag.String("journal-dir", "", "directory for crash-recovery sweep journals (empty = journalling off)")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "coordinator: no-progress deadline before a lease is requeued (0 = 30s)")
+		leasePts   = flag.Int("lease-points", 0, "coordinator: max sweep points per lease (0 = 16)")
+		heartbeat  = flag.Duration("heartbeat", 0, "coordinator: worker heartbeat interval (0 = 2s)")
 	)
 	flag.Parse()
 
@@ -76,6 +95,25 @@ func main() {
 		fatalf("%v", err)
 	}
 	slog.SetDefault(logger)
+
+	if *coordFlag && *joinURL != "" {
+		fatalf("-coordinator and -join are mutually exclusive: a process is either the coordinator or a worker")
+	}
+
+	role := "standalone"
+	var coord *cluster.Coordinator
+	switch {
+	case *coordFlag:
+		role = "coordinator"
+		coord = cluster.NewCoordinator(cluster.Options{
+			LeaseTTL:       *leaseTTL,
+			HeartbeatEvery: *heartbeat,
+			BatchPoints:    *leasePts,
+			Logger:         logger,
+		})
+	case *joinURL != "":
+		role = "worker"
+	}
 
 	sim := simserver.New(simserver.Options{
 		Workers:        *workers,
@@ -88,11 +126,25 @@ func main() {
 		SweepParallel:  *sweepPar,
 		MaxSweepPoints: *sweepCap,
 		Logger:         logger,
+		Coordinator:    coord,
+		Role:           role,
+		JournalDir:     *journalDir,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: simserver.AccessLog(logger, sim.Handler())}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *joinURL != "" {
+		agent := &cluster.Agent{
+			ID:          workerID(),
+			URL:         advertiseURL(*advertise, *addr),
+			Coordinator: *joinURL,
+			Logger:      logger,
+		}
+		logger.Info("cluster: worker mode", "id", agent.ID, "advertise", agent.URL, "coordinator", agent.Coordinator)
+		go func() { _ = agent.Run(ctx) }()
+	}
 
 	if *debugAddr != "" {
 		// The profiler gets its own mux and listener so the production
@@ -164,6 +216,31 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("-log-format %q: want text or json", format)
 	}
+}
+
+// workerID derives a cluster-unique, restart-stable-enough worker name:
+// host plus pid distinguishes workers sharing a machine, and a crashed
+// worker's replacement gets a fresh identity (its old leases requeue).
+func workerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// advertiseURL resolves the base URL the coordinator dials for leases:
+// the -advertise flag verbatim when set, otherwise derived from -addr
+// (a bare ":8091" advertises as http://127.0.0.1:8091 — right for
+// single-host clusters, wrong across machines, hence the flag).
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return strings.TrimRight(advertise, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
 }
 
 func fatalf(format string, args ...any) {

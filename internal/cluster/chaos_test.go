@@ -1,0 +1,336 @@
+// Chaos harness: the one test in the repo that kills real operating-system
+// processes. TestMain re-execs the test binary as worker processes (the
+// FBDSIM_CHAOS_* environment gates the branch), the parent runs an
+// in-process coordinator, and the test SIGKILLs a worker that provably
+// holds undelivered lease points mid-sweep. The sweep must still complete
+// with a result set identical to a standalone single-process run, and the
+// coordinator's failure counters must show the recovery actually happened
+// (leases expired, points requeued) rather than the kill landing between
+// leases.
+//
+// This lives in package cluster_test (external) because it drives the full
+// simserver HTTP surface, and simserver imports cluster.
+package cluster_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"fbdsim/internal/cluster"
+	"fbdsim/internal/config"
+	"fbdsim/internal/simserver"
+	"fbdsim/internal/sweep"
+	"fbdsim/internal/system"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("FBDSIM_CHAOS_WORKER") == "1" {
+		runChaosWorker()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runChaosWorker is the re-exec'ed child: a worker simserver on an
+// ephemeral port plus its cluster agent, running until the parent kills
+// the process. It prints "ADDR <url>" so the parent knows where it lives.
+//
+// The simulation function is the real simulator behind an artificial
+// per-point delay (FBDSIM_CHAOS_DELAY): results stay byte-identical to a
+// plain run, but each point is slow enough that the parent can observe a
+// lease in flight and SIGKILL us while points are provably undelivered.
+func runChaosWorker() {
+	delay, _ := time.ParseDuration(os.Getenv("FBDSIM_CHAOS_DELAY"))
+	run := func(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return system.Results{}, ctx.Err()
+			}
+		}
+		return system.RunWorkloadContext(ctx, cfg, benchmarks)
+	}
+	s := simserver.New(simserver.Options{
+		Workers:    2,
+		Run:        run,
+		Role:       "worker",
+		JournalDir: os.Getenv("FBDSIM_CHAOS_DIR"),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos worker listen:", err)
+		os.Exit(1)
+	}
+	go func() { _ = http.Serve(ln, s.Handler()) }()
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("ADDR %s\n", url)
+
+	agent := &cluster.Agent{
+		ID:          os.Getenv("FBDSIM_CHAOS_ID"),
+		URL:         url,
+		Coordinator: os.Getenv("FBDSIM_CHAOS_COORD"),
+	}
+	_ = agent.Run(context.Background()) // until SIGKILL
+}
+
+// startChaosWorker spawns one worker process and returns its command
+// handle once the worker has printed its address (i.e. is serving).
+func startChaosWorker(t *testing.T, id, coordURL string, delay time.Duration) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"FBDSIM_CHAOS_WORKER=1",
+		"FBDSIM_CHAOS_COORD="+coordURL,
+		"FBDSIM_CHAOS_ID="+id,
+		"FBDSIM_CHAOS_DIR="+t.TempDir(),
+		"FBDSIM_CHAOS_DELAY="+delay.String(),
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start worker %s: %v", id, err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+
+	addr := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "ADDR "); ok {
+				addr <- rest
+				break
+			}
+		}
+		close(addr)
+		// Keep draining so the child never blocks on a full stdout pipe.
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case a, ok := <-addr:
+		if !ok || a == "" {
+			t.Fatalf("worker %s exited before printing its address", id)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("worker %s did not come up within 30s", id)
+	}
+	return cmd
+}
+
+// chaosSweepBody is a real-simulator sweep: 2 configs x 2 workloads x
+// 3 seeds = 12 points, leased in batches of 4 across 3 workers.
+const chaosSweepBody = `{
+	"name": "chaos",
+	"configs": [{"name": "fbd", "preset": "fbd"}, {"name": "ap", "preset": "fbd-ap"}],
+	"workloads": [{"benchmarks": ["swim"]}, {"benchmarks": ["mgrid"]}],
+	"seeds": [1, 2, 3],
+	"max_insts": 20000
+}`
+
+type sweepStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Error    string `json:"error"`
+	Progress struct {
+		Total     int `json:"total"`
+		Completed int `json:"completed"`
+		Failed    int `json:"failed"`
+	} `json:"progress"`
+}
+
+func submitSweep(t *testing.T, baseURL, body string) sweepStatus {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v sweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep submit = %d (%+v), want 202", resp.StatusCode, v)
+	}
+	return v
+}
+
+func waitSweepDone(t *testing.T, baseURL, id string, timeout time.Duration) sweepStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(baseURL + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v sweepStatus
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch v.State {
+		case "done":
+			return v
+		case "failed", "cancelled":
+			t.Fatalf("sweep %s reached %q (error %q), want done", id, v.State, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s still %q after %s (%+v)", id, v.State, timeout, v.Progress)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// fetchSweepPoints reads the sweep's NDJSON results, sorted by index.
+func fetchSweepPoints(t *testing.T, baseURL, id string) []sweep.Point {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/sweeps/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pts []sweep.Point
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var p sweep.Point
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Bytes())
+		}
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(i, k int) bool { return pts[i].Index < pts[k].Index })
+	return pts
+}
+
+// TestChaosSIGKILLWorkerMidSweep is the headline fault-tolerance proof:
+// three worker processes, one SIGKILLed while it holds >= 2 undelivered
+// points, and the distributed result set must still be identical to a
+// standalone run, with the coordinator's counters showing the lease
+// actually expired and its remainder was requeued.
+func TestChaosSIGKILLWorkerMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test spawns and kills worker processes")
+	}
+
+	co := cluster.NewCoordinator(cluster.Options{
+		LeaseTTL:         3 * time.Second,
+		HeartbeatEvery:   200 * time.Millisecond,
+		HeartbeatTimeout: time.Second,
+		BatchPoints:      4,
+		SpeculateAfter:   time.Hour, // isolate death recovery from speculation
+	})
+	srv := simserver.New(simserver.Options{
+		Workers:     2,
+		Coordinator: co,
+		JournalDir:  t.TempDir(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+
+	procs := make(map[string]*exec.Cmd, 3)
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("chaos-w%d", i)
+		procs[id] = startChaosWorker(t, id, ts.URL, 300*time.Millisecond)
+	}
+	waitLive := time.Now().Add(15 * time.Second)
+	for co.LiveWorkerCount() < 3 {
+		if time.Now().After(waitLive) {
+			t.Fatalf("only %d of 3 workers became live", co.LiveWorkerCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	v := submitSweep(t, ts.URL, chaosSweepBody)
+
+	// Find a worker that provably holds undelivered points, then SIGKILL
+	// it. Requiring PendingPoints >= 2 guarantees the kill interrupts a
+	// lease (at least one point can never have been delivered), so the
+	// expiry/requeue counters asserted below must move.
+	var victim string
+	hunt := time.Now().Add(15 * time.Second)
+	for victim == "" {
+		if time.Now().After(hunt) {
+			t.Fatalf("no worker accumulated >= 2 pending points; workers: %+v", co.Workers())
+		}
+		for _, w := range co.Workers() {
+			if w.Live && w.ActiveLeases >= 1 && w.PendingPoints >= 2 {
+				victim = w.ID
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Logf("SIGKILLing %s mid-lease", victim)
+	if err := procs[victim].Process.Kill(); err != nil {
+		t.Fatalf("kill %s: %v", victim, err)
+	}
+	_ = procs[victim].Wait()
+
+	final := waitSweepDone(t, ts.URL, v.ID, 90*time.Second)
+	if final.Progress.Completed != 12 || final.Progress.Failed != 0 {
+		t.Fatalf("progress = %+v, want 12 completed / 0 failed", final.Progress)
+	}
+	got := fetchSweepPoints(t, ts.URL, v.ID)
+
+	// Reference: the identical sweep on a standalone in-process server
+	// running the plain simulator. Byte-identical results prove both that
+	// no point was lost or doubled and that the artificial worker delay
+	// changed nothing but timing.
+	ref := simserver.New(simserver.Options{Workers: 4})
+	rts := httptest.NewServer(ref.Handler())
+	t.Cleanup(func() {
+		rts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = ref.Shutdown(ctx)
+	})
+	rv := submitSweep(t, rts.URL, chaosSweepBody)
+	waitSweepDone(t, rts.URL, rv.ID, 90*time.Second)
+	want := fetchSweepPoints(t, rts.URL, rv.ID)
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("distributed results differ from standalone run\ngot:  %+v\nwant: %+v", got, want)
+	}
+
+	cnt := co.Counters()
+	if cnt.LeasesExpired < 1 {
+		t.Errorf("LeasesExpired = %d, want >= 1 (the victim's lease must not have completed)", cnt.LeasesExpired)
+	}
+	if cnt.PointsRequeued < 1 {
+		t.Errorf("PointsRequeued = %d, want >= 1 (the victim's undelivered points must requeue)", cnt.PointsRequeued)
+	}
+	if lost := cnt.WorkersLost; lost < 1 {
+		t.Errorf("WorkersLost = %d, want >= 1", lost)
+	}
+}

@@ -1,0 +1,113 @@
+// Package cluster turns the sweep engine into a fault-tolerant
+// distributed system: a coordinator shards a sweep's grid points across N
+// worker processes over the serving layer's streaming-NDJSON API, designed
+// failure-first.
+//
+// The unit of distribution is the lease: a batch of sweep.Key-addressed
+// points (sweep.PointDef) handed to one worker with a no-progress
+// deadline. Points are assigned by consistent hashing over their result
+// keys, so each worker's single-flight dedupe cache naturally owns a
+// stable shard of the keyspace. The coordinator tracks worker liveness
+// via heartbeats; on lease expiry, worker death or connection loss it
+// re-queues every point the lease did not deliver. Results commit exactly
+// once: the first delivery of a point claims its grid index and lands in
+// the sweep's fsynced NDJSON journal; later deliveries of the same index
+// (requeue races, speculative re-issue) are counted and dropped. The
+// final result set is therefore bit-identical to a single-process run —
+// the same guarantee the journal already gives kill/resume.
+//
+// Failure matrix (see DESIGN.md §13 for the full argument):
+//
+//   - Worker death: heartbeats stop and open connections break; every
+//     unjournaled point of its leases re-queues to the surviving ring.
+//   - Coordinator death: workers finish their in-flight leases, journal
+//     results locally, and keep trying to re-register; resubmitting the
+//     sweep on a restarted coordinator replays its journal and re-runs
+//     only what is missing (workers answer replayed points from their
+//     local journals without re-simulating).
+//   - Partition: indistinguishable from worker death on the coordinator
+//     side (points re-queue); the isolated worker finishes and journals
+//     its lease, then re-registers when the partition heals. Duplicated
+//     work is absorbed by exactly-once commit.
+//   - Straggler: when the queue is otherwise empty, a lease stalled past
+//     the speculation threshold is re-issued to an idle worker; first
+//     delivery wins, the loser's results are dropped as duplicates.
+package cluster
+
+import (
+	"time"
+
+	"fbdsim/internal/sweep"
+)
+
+// Lease is one batch of grid points assigned to one worker: the
+// coordinator→worker wire format of POST /v1/cluster/execute. Sweep and
+// Fingerprint identify the sweep spec (naming the worker's local journal
+// and guarding it against cross-sweep mixing); Points carry everything
+// needed to run each shard without the spec.
+type Lease struct {
+	ID          string           `json:"id"`
+	Sweep       string           `json:"sweep"`
+	Fingerprint string           `json:"fingerprint"`
+	Points      []sweep.PointDef `json:"points"`
+}
+
+// JoinRequest registers a worker with the coordinator
+// (POST /v1/cluster/join). URL is the worker's advertised base URL, where
+// the coordinator dispatches leases.
+type JoinRequest struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// JoinResponse tells the joining worker the coordinator's expectations.
+type JoinResponse struct {
+	// HeartbeatMS is the interval the worker must beat at; missing a few
+	// marks it dead and re-queues its leases.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// LeaseTTLMS is the no-progress deadline applied to its leases
+	// (informational).
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+// HeartbeatRequest is the worker liveness beacon
+// (POST /v1/cluster/heartbeat). A coordinator that does not recognize ID
+// answers 404 and the worker re-joins — the recovery path after a
+// coordinator restart.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// WorkerInfo is one worker's row in the coordinator's membership view
+// (GET /v1/cluster and the dashboard panel).
+type WorkerInfo struct {
+	ID            string    `json:"id"`
+	URL           string    `json:"url"`
+	Joined        time.Time `json:"joined"`
+	LastHeartbeat time.Time `json:"last_heartbeat"`
+	// Live reports whether the worker is currently eligible for leases:
+	// heartbeating within the timeout and with no dispatch failure newer
+	// than its last heartbeat.
+	Live bool `json:"live"`
+	// ActiveLeases counts leases currently dispatched to the worker;
+	// PendingPoints the points in them not yet committed; PointsDone the
+	// worker's lifetime committed points.
+	ActiveLeases  int   `json:"active_leases"`
+	PendingPoints int   `json:"pending_points"`
+	PointsDone    int64 `json:"points_done"`
+}
+
+// Counters is the coordinator's failure-visibility surface, exported as
+// cluster_* metrics. LeasesExpired counts every lease that ended without
+// delivering all its points — deadline expiry, worker death and
+// connection loss alike — because each of those is the same event from
+// the sweep's perspective: a broken lease whose remainder re-queued.
+type Counters struct {
+	WorkersJoined    int64 `json:"workers_joined"`
+	WorkersLost      int64 `json:"workers_lost"`
+	LeasesGranted    int64 `json:"leases_granted"`
+	LeasesExpired    int64 `json:"leases_expired"`
+	PointsRequeued   int64 `json:"points_requeued"`
+	PointsDuplicate  int64 `json:"points_duplicate"`
+	LeasesSpeculated int64 `json:"leases_speculated"`
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over worker IDs. Sweep points hash onto
+// it by their result-cache key (sweep.Key), so each worker's single-flight
+// LRU cache sees a stable shard of the keyspace: identical points land on
+// the same worker run after run, and membership changes move only the
+// points adjacent to the joining or leaving worker's virtual nodes.
+//
+// A Ring is immutable once built; the coordinator rebuilds one per grant
+// round from the current live membership (building is O(members·replicas·
+// log) and rounds are seconds apart, so rebuilds are cheaper than the
+// bookkeeping for incremental updates would be).
+type Ring struct {
+	replicas int
+	entries  []ringEntry // sorted by hash
+	members  []string    // sorted, deduplicated
+}
+
+type ringEntry struct {
+	hash uint64
+	id   string
+}
+
+// DefaultRingReplicas is the virtual-node count per member: enough that
+// the largest shard of a 3-worker ring stays within ~2× of fair.
+const DefaultRingReplicas = 64
+
+// NewRing builds a ring with the given virtual-node count per member
+// (<= 0 uses DefaultRingReplicas). Duplicate members collapse to one.
+func NewRing(replicas int, members []string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{replicas: replicas, members: uniq}
+	r.entries = make([]ringEntry, 0, len(uniq)*replicas)
+	for _, id := range uniq {
+		for v := 0; v < replicas; v++ {
+			r.entries = append(r.entries, ringEntry{hash: hash64(id + "#" + strconv.Itoa(v)), id: id})
+		}
+	}
+	sort.Slice(r.entries, func(i, k int) bool {
+		if r.entries[i].hash != r.entries[k].hash {
+			return r.entries[i].hash < r.entries[k].hash
+		}
+		return r.entries[i].id < r.entries[k].id // deterministic on (vanishingly rare) collisions
+	})
+	return r
+}
+
+// Members returns the ring's membership, sorted.
+func (r *Ring) Members() []string { return r.members }
+
+// Owner returns the member owning key — the first virtual node at or
+// clockwise after the key's hash — or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.entries) == 0 {
+		return ""
+	}
+	return r.entries[r.slot(key)].id
+}
+
+// Sequence returns every member in the key's preference order: the owner
+// first, then each distinct member encountered walking the ring. A caller
+// that cannot use the owner (banned, suspected down) takes the next
+// member in the sequence, which keeps reassignment deterministic.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.entries) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	start := r.slot(key)
+	for i := 0; i < len(r.entries) && len(out) < len(r.members); i++ {
+		e := r.entries[(start+i)%len(r.entries)]
+		if !seen[e.id] {
+			seen[e.id] = true
+			out = append(out, e.id)
+		}
+	}
+	return out
+}
+
+// slot returns the index of the first entry at or after key's hash,
+// wrapping past the end.
+func (r *Ring) slot(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].hash >= h })
+	if i == len(r.entries) {
+		i = 0
+	}
+	return i
+}
+
+// hash64 is FNV-64a with a murmur3-style avalanche finalizer. Raw FNV on
+// short, similar strings (vnode labels, sweep keys) leaves the high bits
+// clustered — bad enough that a 3-member ring can give one member 3% of
+// the keyspace — so the finalizer mixes every input bit into every output
+// bit before the hash is used as a ring position.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndCovering(t *testing.T) {
+	members := []string{"w2", "w0", "w1"}
+	a := NewRing(0, members)
+	b := NewRing(0, []string{"w0", "w1", "w2", "w1"}) // order and dups must not matter
+
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		own := a.Owner(key)
+		if own != b.Owner(key) {
+			t.Fatalf("owner of %q differs across identically-membered rings", key)
+		}
+		counts[own]++
+	}
+	for _, m := range a.Members() {
+		if counts[m] == 0 {
+			t.Fatalf("member %s owns zero of 1000 keys", m)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("keys landed on %d members, want 3", len(counts))
+	}
+}
+
+func TestRingSequenceVisitsEveryMemberOnce(t *testing.T) {
+	r := NewRing(16, []string{"a", "b", "c", "d"})
+	for i := 0; i < 100; i++ {
+		seq := r.Sequence(fmt.Sprintf("key-%d", i))
+		if len(seq) != 4 {
+			t.Fatalf("sequence length %d, want 4", len(seq))
+		}
+		if seq[0] != r.Owner(fmt.Sprintf("key-%d", i)) {
+			t.Fatal("sequence does not start at the owner")
+		}
+		seen := map[string]bool{}
+		for _, id := range seq {
+			if seen[id] {
+				t.Fatalf("member %s repeated in sequence %v", id, seq)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// Removing one member must move only that member's keys: everyone else's
+// assignments stay put — the property that keeps worker-local caches warm
+// across membership churn.
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full := NewRing(0, []string{"w0", "w1", "w2"})
+	reduced := NewRing(0, []string{"w0", "w2"})
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, is := full.Owner(key), reduced.Owner(key)
+		if was == "w1" {
+			if is == "w1" {
+				t.Fatal("removed member still owns a key")
+			}
+			continue
+		}
+		if was != is {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving members; want 0", moved)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(0, nil)
+	if own := empty.Owner("k"); own != "" {
+		t.Fatalf("empty ring owner = %q, want empty", own)
+	}
+	if seq := empty.Sequence("k"); seq != nil {
+		t.Fatalf("empty ring sequence = %v, want nil", seq)
+	}
+	one := NewRing(0, []string{"solo"})
+	if own := one.Owner("k"); own != "solo" {
+		t.Fatalf("single ring owner = %q", own)
+	}
+}

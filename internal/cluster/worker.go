@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"fbdsim/internal/retry"
+	"fbdsim/internal/sweep"
+)
+
+// sharedClient carries lease streams and heartbeats. No client timeout:
+// a lease stream legitimately runs for minutes, and cancellation arrives
+// through the request context.
+var sharedClient = &http.Client{}
+
+// HTTPExecutor dispatches leases over POST /v1/cluster/execute and
+// decodes the worker's streamed NDJSON points. It is the production
+// Executor of Coordinator.
+type HTTPExecutor struct {
+	// Client overrides the HTTP client (nil: a shared default with no
+	// timeout — lease lifetime is governed by the dispatch context).
+	Client *http.Client
+}
+
+// Execute implements Executor. Points are committed as their lines
+// arrive, so a stream severed mid-lease still commits its delivered
+// prefix; a line without its newline (the worker died mid-record) is an
+// error, never a half-parsed point.
+func (e *HTTPExecutor) Execute(ctx context.Context, w WorkerInfo, lease Lease, commit func(sweep.Point)) error {
+	body, err := json.Marshal(lease)
+	if err != nil {
+		return fmt.Errorf("cluster: encode lease: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(w.URL, "/")+"/v1/cluster/execute", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("cluster: build lease request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := e.Client
+	if client == nil {
+		client = sharedClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: dispatch to %s: %w", w.ID, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: worker %s refused lease: %s: %s",
+			w.ID, resp.Status, bytes.TrimSpace(msg))
+	}
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadBytes('\n')
+		if errors.Is(err, io.EOF) {
+			if len(bytes.TrimSpace(line)) > 0 {
+				return fmt.Errorf("cluster: worker %s stream ended mid-record", w.ID)
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: read lease stream from %s: %w", w.ID, err)
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var p sweep.Point
+		if uerr := json.Unmarshal(line, &p); uerr != nil {
+			return fmt.Errorf("cluster: corrupt point from %s: %w", w.ID, uerr)
+		}
+		commit(p)
+	}
+}
+
+// errUnknownWorker signals a heartbeat 404: the coordinator does not
+// know us (it restarted, or evicted us); the agent re-joins immediately.
+var errUnknownWorker = errors.New("coordinator does not recognize this worker")
+
+// Agent is the worker side of the cluster protocol: it registers the
+// local server with a coordinator and keeps heartbeating it. Lease
+// execution itself is served by the local HTTP server's
+// /v1/cluster/execute handler — the agent is only the liveness loop.
+//
+// The agent is deliberately stubborn: a lost coordinator (crash,
+// partition) triggers re-join attempts with capped jittered backoff,
+// forever, while the local server independently finishes and journals
+// any lease it already accepted. That pairing is what lets a worker
+// "finish its lease, journal locally, and re-register".
+type Agent struct {
+	// ID uniquely names this worker across the cluster (stable across
+	// re-joins, unique per process).
+	ID string
+	// URL is the advertised base URL of the local server, where the
+	// coordinator will dispatch leases.
+	URL string
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Client overrides the HTTP client (nil: shared default).
+	Client *http.Client
+	// Logger receives join/heartbeat transitions (nil: discard).
+	Logger *slog.Logger
+	// Retry backs off failed joins (zero value: 100ms doubling to 5s,
+	// full jitter).
+	Retry retry.Policy
+	// HeartbeatEvery is the beat interval used until the coordinator
+	// states its own in the join response (default 2s).
+	HeartbeatEvery time.Duration
+}
+
+// Run joins and heartbeats until ctx ends, re-joining whenever the
+// coordinator is lost or forgets us. It always returns ctx's error.
+func (a *Agent) Run(ctx context.Context) error {
+	log := a.Logger
+	if log == nil {
+		log = slog.New(discardHandler{})
+	}
+	pol := a.Retry
+	if pol.Initial <= 0 && pol.Max <= 0 {
+		pol = retry.Policy{Initial: 100 * time.Millisecond, Max: 5 * time.Second, Jitter: true}
+	}
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		interval, err := a.join(ctx)
+		if err != nil {
+			attempt++
+			log.Warn("cluster: join failed, backing off",
+				"coordinator", a.Coordinator, "attempt", attempt, "err", err)
+			if pol.Sleep(ctx, attempt) != nil {
+				return ctx.Err()
+			}
+			continue
+		}
+		attempt = 0
+		log.Info("cluster: joined coordinator",
+			"coordinator", a.Coordinator, "worker", a.ID, "heartbeat", interval)
+		if err := a.beat(ctx, interval); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			log.Warn("cluster: heartbeat lost, re-joining", "err", err)
+		}
+	}
+}
+
+func (a *Agent) client() *http.Client {
+	if a.Client != nil {
+		return a.Client
+	}
+	return sharedClient
+}
+
+// join registers with the coordinator and returns the heartbeat interval
+// it demands.
+func (a *Agent) join(ctx context.Context) (time.Duration, error) {
+	var jr JoinResponse
+	err := a.post(ctx, "/v1/cluster/join", JoinRequest{ID: a.ID, URL: a.URL}, &jr)
+	if err != nil {
+		return 0, err
+	}
+	interval := time.Duration(jr.HeartbeatMS) * time.Millisecond
+	if interval <= 0 {
+		interval = a.HeartbeatEvery
+	}
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return interval, nil
+}
+
+// beat heartbeats at interval until the context ends, the coordinator
+// forgets us (re-join immediately), or three consecutive beats fail
+// (coordinator unreachable; re-join with backoff).
+func (a *Agent) beat(ctx context.Context, interval time.Duration) error {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	fails := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+		err := a.post(ctx, "/v1/cluster/heartbeat", HeartbeatRequest{ID: a.ID}, nil)
+		switch {
+		case err == nil:
+			fails = 0
+		case errors.Is(err, errUnknownWorker):
+			return err
+		default:
+			if fails++; fails >= 3 {
+				return err
+			}
+		}
+	}
+}
+
+// post sends one JSON request to the coordinator, decoding a 200 body
+// into out when non-nil. A 404 maps to errUnknownWorker.
+func (a *Agent) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimSuffix(a.Coordinator, "/")+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return errUnknownWorker
+	case resp.StatusCode != http.StatusOK:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out != nil {
+		return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out)
+	}
+	return nil
+}

@@ -80,6 +80,34 @@ func (s *Server) dashboardText() string {
 		busy, workers, textplot.Spark(occ, 32),
 		len(s.queue), cap(s.queue), s.cache.Len(), s.activeSweeps())
 
+	// Coordinator role: the cluster membership and failure-counter panel.
+	if co := s.opts.Coordinator; co != nil {
+		members := co.Workers()
+		live := 0
+		for _, m := range members {
+			if m.Live {
+				live++
+			}
+		}
+		cnt := co.Counters()
+		fmt.Fprintf(&sb, "cluster — %d workers (%d live)   leases %d granted / %d expired / %d speculated   points %d requeued / %d dup\n",
+			len(members), live, cnt.LeasesGranted, cnt.LeasesExpired, cnt.LeasesSpeculated,
+			cnt.PointsRequeued, cnt.PointsDuplicate)
+		if len(members) == 0 {
+			sb.WriteString("  (no workers registered)\n")
+		}
+		for _, m := range members {
+			state := "live"
+			if !m.Live {
+				state = "LOST"
+			}
+			fmt.Fprintf(&sb, "  %-16s %-4s leases=%d pending=%d done=%d   beat %s ago\n",
+				m.ID, state, m.ActiveLeases, m.PendingPoints, m.PointsDone,
+				time.Since(m.LastHeartbeat).Truncate(time.Millisecond))
+		}
+		sb.WriteString("\n")
+	}
+
 	// Stable-order copies of the job and sweep tables.
 	s.mu.Lock()
 	jobIDs := make([]string, 0, len(s.jobs))

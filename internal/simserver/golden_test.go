@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"fbdsim/internal/cluster"
 	"fbdsim/internal/config"
 	"fbdsim/internal/system"
 )
@@ -137,4 +138,21 @@ func TestGoldenErrorEnvelope(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, Run: goldenRun})
 	raw := goldenBody(t, ts, "/v1/jobs/job-999")
 	checkGolden(t, "error.golden.json", raw)
+}
+
+// TestGoldenReadyz pins the structured /readyz document — probes and
+// operators parse it, so shape drift must be a conscious decision.
+func TestGoldenReadyz(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8, Run: goldenRun})
+	raw := goldenBody(t, ts, "/readyz")
+	checkGolden(t, "readyz.golden.json", raw)
+}
+
+// TestGoldenReadyzCoordinator pins the coordinator-role variant: the same
+// document plus the live-worker gauge.
+func TestGoldenReadyzCoordinator(t *testing.T) {
+	co := cluster.NewCoordinator(cluster.Options{})
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8, Coordinator: co, Run: goldenRun})
+	raw := goldenBody(t, ts, "/readyz")
+	checkGolden(t, "readyz_coordinator.golden.json", raw)
 }

@@ -32,7 +32,15 @@ type Metrics struct {
 	SweepsAccepted  *stats.Counter // sweep submissions admitted
 	SweepsCompleted *stats.Counter // sweeps whose every grid point emitted
 	SweepsCancelled *stats.Counter // sweeps stopped before completing
+	SweepsFailed    *stats.Counter // sweeps that errored (journal, cluster)
 	SweepPoints     *stats.Counter // grid points emitted across all sweeps
+
+	// Cluster worker side: leases accepted by /v1/cluster/execute and the
+	// points answered for them (fresh, cached or journal-replayed). The
+	// coordinator-side cluster_* gauges live on the cluster.Coordinator
+	// and are registered in New when one is configured.
+	LeasesExecuted *stats.Counter
+	LeasePoints    *stats.Counter
 
 	// Per-job wall time of completed simulations.
 	wallMu sync.Mutex
@@ -67,7 +75,11 @@ func newMetrics() *Metrics {
 		SweepsAccepted:  reg.Counter("sweeps_accepted"),
 		SweepsCompleted: reg.Counter("sweeps_completed"),
 		SweepsCancelled: reg.Counter("sweeps_cancelled"),
+		SweepsFailed:    reg.Counter("sweeps_failed"),
 		SweepPoints:     reg.Counter("sweep_points_total"),
+
+		LeasesExecuted: reg.Counter("cluster_leases_executed"),
+		LeasePoints:    reg.Counter("cluster_lease_points_total"),
 	}
 	reg.Func("job_wall_ms_count", func() any { i, _, _ := m.wallSnapshot(); return i })
 	reg.Func("job_wall_ms_mean", func() any { _, mean, _ := m.wallSnapshot(); return mean })

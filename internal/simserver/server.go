@@ -18,6 +18,10 @@
 //	GET    /v1/sweeps/{id}          poll a sweep (state + progress counters)
 //	GET    /v1/sweeps/{id}/results  stream completed grid points as NDJSON (?follow=1 tails)
 //	DELETE /v1/sweeps/{id}          cancel a sweep; returns its final state
+//	POST   /v1/cluster/join         register a worker with the coordinator
+//	POST   /v1/cluster/heartbeat    worker liveness beacon (404: re-join)
+//	POST   /v1/cluster/execute      execute one lease, streaming its points as NDJSON
+//	GET    /v1/cluster              cluster role, membership and failure counters
 //	GET    /healthz                 liveness (503 while shutting down)
 //	GET    /readyz                  readiness (503 when the queue is saturated or shutdown began)
 //	GET    /metrics                 counter registry as JSON (?format=prom for Prometheus text)
@@ -60,8 +64,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fbdsim/internal/cluster"
 	"fbdsim/internal/config"
 	"fbdsim/internal/memtrace"
+	"fbdsim/internal/retry"
 	"fbdsim/internal/sweep"
 	"fbdsim/internal/system"
 	"fbdsim/internal/telemetry"
@@ -104,6 +110,22 @@ type Options struct {
 	// MaxSweepPoints caps the grid size of one sweep submission
 	// (default 4096).
 	MaxSweepPoints int
+	// Coordinator, when non-nil, puts the server in coordinator role:
+	// sweeps submitted to /v1/sweeps are leased out to registered workers
+	// over the cluster protocol instead of simulated locally, and the
+	// /v1/cluster membership endpoints come alive.
+	Coordinator *cluster.Coordinator
+	// Role labels the server's cluster role in /readyz and /v1/cluster:
+	// "coordinator", "worker" or "standalone". Defaults to "coordinator"
+	// when Coordinator is set and "standalone" otherwise; fbdserve passes
+	// "worker" when joining a cluster.
+	Role string
+	// JournalDir, when set, persists sweep journals under it: coordinator
+	// sweeps checkpoint to <dir>/sweep-<fp>.ndjson and lease execution
+	// journals worker-side results to <dir>/worker-<fp>.ndjson, so both
+	// halves of a distributed sweep survive kill -9. Empty disables
+	// journaling.
+	JournalDir string
 	// Logger receives the server's structured lifecycle log (job and
 	// sweep transitions, shutdown). Defaults to a discard logger so
 	// embedding tests stay quiet; fbdserve passes its process logger.
@@ -142,6 +164,13 @@ func (o Options) norm() Options {
 	}
 	if o.MaxSweepPoints <= 0 {
 		o.MaxSweepPoints = 4096
+	}
+	if o.Role == "" {
+		if o.Coordinator != nil {
+			o.Role = "coordinator"
+		} else {
+			o.Role = "standalone"
+		}
 	}
 	if o.Logger == nil {
 		// slog.DiscardHandler is newer than this module's Go baseline;
@@ -294,13 +323,21 @@ type Server struct {
 	// drain until the grace period expires.
 	shutdownCh chan struct{}
 
+	// retryPol backs off transient job-retry attempts: capped exponential
+	// with full jitter (internal/retry), built from Options.RetryBackoff.
+	retryPol retry.Policy
+
 	mu          sync.Mutex
 	jobs        map[string]*job
 	byKey       map[string]*job // queued/running jobs, for coalescing
 	sweeps      map[string]*sweepJob
-	closed      bool
-	nextID      int64
-	nextSweepID int64
+	// clusterJournals holds this worker's lease-execution journals, one
+	// per sweep fingerprint, opened lazily by /v1/cluster/execute and
+	// closed at Shutdown.
+	clusterJournals map[string]*workerJournal
+	closed          bool
+	nextID          int64
+	nextSweepID     int64
 
 	busy     atomic.Int64
 	workerWG sync.WaitGroup
@@ -323,9 +360,13 @@ func New(opts Options) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		shutdownCh: make(chan struct{}),
-		jobs:       make(map[string]*job),
-		byKey:      make(map[string]*job),
-		sweeps:     make(map[string]*sweepJob),
+		retryPol: retry.Policy{
+			Initial: o.RetryBackoff, Max: o.RetryBackoffMax, Jitter: true,
+		},
+		jobs:            make(map[string]*job),
+		byKey:           make(map[string]*job),
+		sweeps:          make(map[string]*sweepJob),
+		clusterJournals: make(map[string]*workerJournal),
 	}
 	reg := s.metrics.Registry()
 	reg.Func("queue_depth", func() any { return len(s.queue) })
@@ -335,6 +376,16 @@ func New(opts Options) *Server {
 	reg.Func("sweeps_active", func() any { return s.activeSweeps() })
 	reg.Func("uptime_seconds", func() any { return time.Since(s.started).Seconds() })
 	reg.Func("build_info", func() any { return buildInfo(s.started) })
+	if co := o.Coordinator; co != nil {
+		reg.Func("cluster_workers_live", func() any { return co.LiveWorkerCount() })
+		reg.Func("cluster_workers_joined", func() any { return co.Counters().WorkersJoined })
+		reg.Func("cluster_workers_lost", func() any { return co.Counters().WorkersLost })
+		reg.Func("cluster_leases_granted", func() any { return co.Counters().LeasesGranted })
+		reg.Func("cluster_leases_expired", func() any { return co.Counters().LeasesExpired })
+		reg.Func("cluster_leases_speculated", func() any { return co.Counters().LeasesSpeculated })
+		reg.Func("cluster_points_requeued", func() any { return co.Counters().PointsRequeued })
+		reg.Func("cluster_points_duplicate", func() any { return co.Counters().PointsDuplicate })
+	}
 	for i := 0; i < o.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -386,23 +437,6 @@ func (s *Server) runSim(ctx context.Context, j *job) (res system.Results, err er
 	j.attempts++
 	j.mu.Unlock()
 	return s.opts.Run(ctx, j.cfg, j.benchmarks)
-}
-
-// sleepBackoff waits out the capped exponential backoff before retry
-// attempt n (1-based); false when ctx was cancelled during the wait.
-func (s *Server) sleepBackoff(ctx context.Context, attempt int) bool {
-	d := s.opts.RetryBackoff << (attempt - 1)
-	if d > s.opts.RetryBackoffMax || d <= 0 {
-		d = s.opts.RetryBackoffMax
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return false
-	case <-t.C:
-		return true
-	}
 }
 
 // runJob executes one job — retrying transient failures up to the job's
@@ -457,7 +491,7 @@ func (s *Server) runJob(j *job) {
 			break
 		}
 		s.metrics.Retries.Inc()
-		if !s.sleepBackoff(ctx, attempt) {
+		if s.retryPol.Sleep(ctx, attempt) != nil {
 			err = ctx.Err()
 			break
 		}
@@ -523,10 +557,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		s.closeClusterJournals()
 		return nil
 	case <-ctx.Done():
 		s.baseCancel() // cancel every job context; workers unwind fast
 		<-drained
+		s.closeClusterJournals()
 		return ctx.Err()
 	}
 }
@@ -599,6 +635,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
 	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+	mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/execute", s.handleClusterExecute)
+	mux.HandleFunc("GET /v1/cluster", s.handleClusterStatus)
 	mux.HandleFunc("GET /v1/dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -989,6 +1029,22 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyView is the structured /readyz body: one document whatever the
+// verdict, so probes and operators read capacity and cluster posture from
+// the same endpoint that gates routing.
+type readyView struct {
+	Status        string `json:"status"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	Workers       int    `json:"workers"`
+	WorkersBusy   int64  `json:"workers_busy"`
+	SweepsActive  int    `json:"sweeps_active"`
+	ClusterRole   string `json:"cluster_role"`
+	// ClusterWorkersLive is the coordinator's live-worker count; absent
+	// outside coordinator role.
+	ClusterWorkersLive *int `json:"cluster_workers_live,omitempty"`
+}
+
 // handleReady is the load-balancer readiness probe, distinct from liveness:
 // a saturated queue or a begun shutdown answers 503 so routing stops before
 // submissions start bouncing with 429, while /healthz keeps reporting the
@@ -997,16 +1053,28 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
-	depth, capacity := len(s.queue), cap(s.queue)
+	v := readyView{
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		Workers:       s.opts.Workers,
+		WorkersBusy:   s.busy.Load(),
+		SweepsActive:  s.activeSweeps(),
+		ClusterRole:   s.opts.Role,
+	}
+	if co := s.opts.Coordinator; co != nil {
+		live := co.LiveWorkerCount()
+		v.ClusterWorkersLive = &live
+	}
 	switch {
 	case closed:
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "shutting down"})
-	case depth >= capacity:
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "saturated", "queue_depth": depth, "queue_capacity": capacity})
+		v.Status = "shutting down"
+		writeJSON(w, http.StatusServiceUnavailable, v)
+	case v.QueueDepth >= v.QueueCapacity:
+		v.Status = "saturated"
+		writeJSON(w, http.StatusServiceUnavailable, v)
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ready", "queue_depth": depth, "queue_capacity": capacity})
+		v.Status = "ready"
+		writeJSON(w, http.StatusOK, v)
 	}
 }
 

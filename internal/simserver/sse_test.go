@@ -697,3 +697,110 @@ func TestAccessLogCorrelation(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// ---------------------------------------------------------------- resume
+
+// openSSERaw connects with an optional Last-Event-ID header and returns
+// the raw response; the caller owns status checking and the body.
+func openSSERaw(t *testing.T, url, lastEventID string) *http.Response {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// instantRun completes immediately with fixed results.
+func instantRun(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
+	return system.Results{Benchmarks: benchmarks, Cores: len(benchmarks), IPC: []float64{1}}, nil
+}
+
+// TestSSEResumeSkipsConsumedPrefix: a reconnect carrying Last-Event-ID
+// resumes after that sequence number instead of replaying the whole
+// retained history, and a reconnect that already saw the terminal event
+// gets 204 No Content.
+func TestSSEResumeSkipsConsumedPrefix(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Run: instantRun})
+	_, v, _ := postJob(t, ts, `{"benchmarks": ["swim"], "seed": 9}`)
+	waitState(t, ts, v.ID, StateDone)
+	url := ts.URL + "/v1/jobs/" + v.ID + "/events"
+
+	full := openSSE(t, url).collect(t)
+	if len(full) < 2 {
+		t.Fatalf("full stream has %d frames, want at least state+end", len(full))
+	}
+	if last := full[len(full)-1]; last.event != "end" {
+		t.Fatalf("stream did not terminate with end: %+v", last)
+	}
+
+	// Resume after the first frame: exactly the remainder, same order.
+	resp := openSSERaw(t, url, full[0].id)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resumed stream status = %d, want 200", resp.StatusCode)
+	}
+	r := &sseReader{resp: resp, br: bufio.NewReader(resp.Body), cancel: func() {}}
+	resumed := r.collect(t)
+	if len(resumed) != len(full)-1 {
+		t.Fatalf("resumed stream has %d frames, want %d\nfull: %+v\nresumed: %+v",
+			len(resumed), len(full)-1, full, resumed)
+	}
+	for i, f := range resumed {
+		if f != full[i+1] {
+			t.Fatalf("resumed frame %d = %+v, want %+v", i, f, full[i+1])
+		}
+	}
+
+	// The client consumed everything including "end": nothing will follow.
+	resp = openSSERaw(t, url, full[len(full)-1].id)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("fully-consumed reconnect = %d, want 204", resp.StatusCode)
+	}
+}
+
+// TestSSEResumeTerminalSweep pins the 204 path on the sweep events
+// endpoint (both endpoints share serveSSE; this guards the wiring).
+func TestSSEResumeTerminalSweep(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Run: instantRun})
+	_, v := postSweep(t, ts, `{
+		"configs": [{"preset": "fbd"}],
+		"workloads": [{"benchmarks": ["swim"]}],
+		"max_insts": 10000
+	}`)
+	waitSweepState(t, ts, v.ID, StateDone)
+	url := ts.URL + "/v1/sweeps/" + v.ID + "/events"
+
+	full := openSSE(t, url).collect(t)
+	if len(full) == 0 || full[len(full)-1].event != "end" {
+		t.Fatalf("sweep stream did not terminate with end: %+v", full)
+	}
+	resp := openSSERaw(t, url, full[len(full)-1].id)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("fully-consumed sweep reconnect = %d, want 204", resp.StatusCode)
+	}
+}
+
+// TestSSEBadLastEventID: a malformed resume header is a 400, not a silent
+// full replay (the client would double-process every event).
+func TestSSEBadLastEventID(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Run: instantRun})
+	_, v, _ := postJob(t, ts, `{"benchmarks": ["swim"], "seed": 10}`)
+	waitState(t, ts, v.ID, StateDone)
+	url := ts.URL + "/v1/jobs/" + v.ID + "/events"
+	for _, bad := range []string{"abc", "-3", "1.5"} {
+		resp := openSSERaw(t, url, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("Last-Event-ID %q = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

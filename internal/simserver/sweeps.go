@@ -3,12 +3,15 @@ package simserver
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
+	"fbdsim/internal/cluster"
 	"fbdsim/internal/sweep"
 	"fbdsim/internal/telemetry"
 	"fbdsim/internal/workload"
@@ -75,12 +78,15 @@ type sweepView struct {
 	WallMS float64 `json:"wall_ms,omitempty"`
 }
 
-// sweepJob is one tracked sweep: the engine plus its accumulated points.
+// sweepJob is one tracked sweep — locally engine-run or cluster-leased —
+// plus its accumulated points. progress abstracts over the two executors
+// (sweep.Engine.Progress or cluster.Run.Progress).
 type sweepJob struct {
 	id          string
 	name        string
 	fingerprint string
-	eng         *sweep.Engine
+	total       int
+	progress    func() sweep.Progress
 	cancel      context.CancelFunc
 	done        chan struct{} // closed on terminal transition
 
@@ -97,12 +103,13 @@ type sweepJob struct {
 	finished time.Time
 }
 
-func newSweepJob(id string, spec sweep.Spec, eng *sweep.Engine, cancel context.CancelFunc, stream *telemetry.Stream) *sweepJob {
+func newSweepJob(id string, spec sweep.Spec, total int, progress func() sweep.Progress, cancel context.CancelFunc, stream *telemetry.Stream) *sweepJob {
 	sj := &sweepJob{
 		id:          id,
 		name:        spec.Name,
 		fingerprint: spec.Fingerprint(),
-		eng:         eng,
+		total:       total,
+		progress:    progress,
 		cancel:      cancel,
 		done:        make(chan struct{}),
 		stream:      stream,
@@ -124,7 +131,7 @@ func (sj *sweepJob) view() sweepView {
 		Name:        sj.name,
 		State:       string(sj.state),
 		Fingerprint: sj.fingerprint,
-		Progress:    sj.eng.Progress(),
+		Progress:    sj.progress(),
 		Points:      len(sj.points),
 		Error:       sj.errMsg,
 	}
@@ -246,6 +253,10 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
+	if s.opts.Coordinator != nil {
+		s.submitClusterSweep(w, spec)
+		return
+	}
 	eng, err := sweep.New(spec, sweep.Options{Run: sweep.RunFunc(s.opts.Run), Cache: s.cache})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
@@ -268,7 +279,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextSweepID++
 	id := fmt.Sprintf("sweep-%d", s.nextSweepID)
-	sj := newSweepJob(id, spec, eng, cancel, s.hub.Open(id))
+	sj := newSweepJob(id, spec, eng.Total(), eng.Progress, cancel, s.hub.Open(id))
 	s.sweeps[sj.id] = sj
 	s.sweepWG.Add(1)
 	s.mu.Unlock()
@@ -277,6 +288,77 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	s.log.Info("sweep accepted", "sweep_id", sj.id, "name", sj.name, "points", eng.Total())
 	go s.drainSweep(sj, ctx, ch)
 	writeJSON(w, http.StatusAccepted, sj.view())
+}
+
+// submitClusterSweep admits a sweep in coordinator role: instead of the
+// local engine, a cluster.Run leases the grid out to registered workers.
+// When journaling is configured the run checkpoints to a per-fingerprint
+// journal, so a restarted coordinator resubmitting the same sweep replays
+// finished points and leases out only the remainder.
+func (s *Server) submitClusterSweep(w http.ResponseWriter, spec sweep.Spec) {
+	if s.opts.JournalDir != "" {
+		spec.Journal = filepath.Join(s.opts.JournalDir, "sweep-"+shortFP(spec.Fingerprint())+".ndjson")
+	}
+	run, err := s.opts.Coordinator.NewRun(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "server is shutting down")
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	s.nextSweepID++
+	id := fmt.Sprintf("sweep-%d", s.nextSweepID)
+	sj := newSweepJob(id, spec, run.Total(), run.Progress, cancel, s.hub.Open(id))
+	s.sweeps[sj.id] = sj
+	s.sweepWG.Add(1)
+	s.mu.Unlock()
+
+	s.metrics.SweepsAccepted.Inc()
+	s.log.Info("cluster sweep accepted", "sweep_id", sj.id, "name", sj.name,
+		"points", run.Total(), "journal", spec.Journal)
+	go s.driveClusterSweep(sj, ctx, run)
+	writeJSON(w, http.StatusAccepted, sj.view())
+}
+
+// driveClusterSweep runs one leased sweep to completion and settles its
+// terminal state. Points arrive concurrently from lease dispatch
+// goroutines; appending under sj.mu keeps pollers, followers and SSE
+// consumers consistent.
+func (s *Server) driveClusterSweep(sj *sweepJob, ctx context.Context, run *cluster.Run) {
+	defer s.sweepWG.Done()
+	err := run.Execute(ctx, func(p sweep.Point) {
+		sj.mu.Lock()
+		sj.points = append(sj.points, p)
+		sj.cond.Broadcast()
+		sj.mu.Unlock()
+		s.metrics.SweepPoints.Inc()
+		if sj.stream != nil {
+			if data, merr := json.Marshal(p); merr == nil {
+				sj.stream.PublishPoint(data)
+			}
+		}
+	})
+	switch {
+	case err == nil:
+		s.metrics.SweepsCompleted.Inc()
+		sj.finish(StateDone, "")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.metrics.SweepsCancelled.Inc()
+		sj.finish(StateCancelled, err.Error())
+	default:
+		// Setup failures (a locked journal, a fingerprint mismatch)
+		// surface here: the sweep fails with the cause in its view.
+		s.metrics.SweepsFailed.Inc()
+		sj.finish(StateFailed, err.Error())
+	}
+	v := sj.view()
+	s.log.Info("cluster sweep finished", "sweep_id", sj.id, "state", v.State,
+		"points", v.Points, "error", v.Error)
 }
 
 // drainSweep accumulates the engine's point stream into the sweep record
@@ -301,7 +383,7 @@ func (s *Server) drainSweep(sj *sweepJob, ctx context.Context, ch <-chan sweep.P
 	}
 	// The engine emits one point per grid slot (failed points carry Err);
 	// anything short means cancellation stopped dispatch.
-	if emitted == sj.eng.Total() {
+	if emitted == sj.total {
 		s.metrics.SweepsCompleted.Inc()
 		sj.finish(StateDone, "")
 		s.log.Info("sweep finished", "sweep_id", sj.id, "state", string(StateDone), "points", emitted)

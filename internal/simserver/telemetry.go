@@ -87,10 +87,34 @@ func (s *Server) handleJobStats(w http.ResponseWriter, r *http.Request) {
 
 // serveSSE streams one telemetry stream over Server-Sent Events until the
 // stream ends, the client leaves, or the server begins shutdown.
+//
+// Reconnects resume: every frame carries its sequence number in the id:
+// field, browsers and spec-conforming clients echo the last one seen back
+// as a Last-Event-ID header, and the replay then skips everything at or
+// below it — the client sees each event once across any number of
+// reconnects (within the hub's retained ring). A reconnect after the
+// stream already delivered its terminal event answers 204 No Content: the
+// client has everything and should stop reconnecting.
 func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, st *telemetry.Stream) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, codeInternal, "response writer does not support streaming")
+		return
+	}
+	var after int64
+	if h := r.Header.Get("Last-Event-ID"); h != "" {
+		n, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				"Last-Event-ID must be a non-negative event sequence number")
+			return
+		}
+		after = n
+	}
+	if lastSeq, closed := st.Terminal(); closed && after >= lastSeq {
+		// The stream is terminal and the client already consumed its last
+		// event (including "end"); nothing will ever follow.
+		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -100,7 +124,7 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, st *telemetry.
 
 	// History and live registration are atomic in the hub: nothing is both
 	// missing from the replay and absent from the channel.
-	replay, sub := st.Subscribe()
+	replay, sub := st.SubscribeFrom(after)
 	defer sub.Cancel()
 	for _, ev := range replay {
 		if !writeSSE(w, ev) {

@@ -3,6 +3,7 @@ package sweep
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -17,6 +18,18 @@ import (
 // the partial tail; replayed points are emitted without re-simulating, and
 // because points are canonicalized before journaling, the merged result
 // set is bit-identical to an uninterrupted run.
+//
+// The journal is also the commit log of distributed sweeps: a cluster
+// coordinator appends each point exactly once (first delivery wins), so a
+// point executed twice — requeue race, speculative re-issue — still lands
+// in the file once and resume stays bit-identical.
+
+// ErrLocked reports that another live process holds the journal open.
+// Exactly one writer may own a journal file at a time — concurrent
+// appenders would interleave fsyncs and corrupt the replay stream — so a
+// second opener fails closed with this sentinel (wrapped; test with
+// errors.Is) instead of silently sharing the file.
+var ErrLocked = errors.New("journal is locked by another process")
 
 // journalHeader is the first line of every journal file.
 type journalHeader struct {
@@ -27,18 +40,21 @@ type journalHeader struct {
 
 const journalVersion = 1
 
-// journal is the append side; opening also replays existing points.
+// Journal is the append side; opening also replays existing points.
 // Appends are serialized: worker goroutines checkpoint concurrently.
-type journal struct {
+type Journal struct {
 	mu sync.Mutex
 	f  *os.File
 }
 
-// openJournal opens (or creates) the checkpoint file at path, replays the
+// OpenJournal opens (or creates) the checkpoint file at path, replays the
 // completed points it holds, truncates any partially written tail, and
 // returns the journal positioned for appending. A journal written for a
-// different spec fingerprint is refused rather than silently merged.
-func openJournal(path, name, fingerprint string) (*journal, map[int]Point, error) {
+// different spec fingerprint is refused rather than silently merged, and
+// a journal already held open by another live process is refused with
+// ErrLocked (the lock is advisory flock, released automatically when the
+// holder dies — a crashed writer never wedges resumption).
+func OpenJournal(path, name, fingerprint string) (*Journal, map[int]Point, error) {
 	if dir := filepath.Dir(path); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, nil, fmt.Errorf("sweep: create journal directory: %w", err)
@@ -47,6 +63,10 @@ func openJournal(path, name, fingerprint string) (*journal, map[int]Point, error
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sweep: open journal: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("sweep: journal %s: %w", path, err)
 	}
 
 	points := make(map[int]Point)
@@ -102,7 +122,7 @@ func openJournal(path, name, fingerprint string) (*journal, map[int]Point, error
 		return nil, nil, fmt.Errorf("sweep: seek journal: %w", err)
 	}
 
-	j := &journal{f: f}
+	j := &Journal{f: f}
 	if !sawHeader {
 		if err := j.writeLine(journalHeader{V: journalVersion, Sweep: name, Fingerprint: fingerprint}); err != nil {
 			f.Close()
@@ -112,16 +132,16 @@ func openJournal(path, name, fingerprint string) (*journal, map[int]Point, error
 	return j, points, nil
 }
 
-// append checkpoints one completed point. Journal failures are deliberately
+// Append checkpoints one completed point. Journal failures are deliberately
 // non-fatal to the sweep — the point was computed and is emitted either
 // way; the worst outcome of a failed append is recomputation on resume.
-func (j *journal) append(p Point) {
+func (j *Journal) Append(p Point) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	_ = j.writeLine(p)
 }
 
-func (j *journal) writeLine(v any) error {
+func (j *Journal) writeLine(v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("sweep: encode journal line: %w", err)
@@ -137,7 +157,8 @@ func (j *journal) writeLine(v any) error {
 	return nil
 }
 
-func (j *journal) close() {
+// Close syncs and releases the journal (and its writer lock).
+func (j *Journal) Close() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	_ = j.f.Sync()

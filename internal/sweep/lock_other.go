@@ -1,0 +1,9 @@
+//go:build !unix
+
+package sweep
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable: the journal loses its
+// second-opener protection but keeps every crash-recovery property.
+func lockFile(*os.File) error { return nil }

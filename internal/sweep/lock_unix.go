@@ -1,0 +1,25 @@
+//go:build unix
+
+package sweep
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory lock on the open journal file,
+// failing immediately (ErrLocked) when another process holds it. flock
+// locks belong to the open file description, so they vanish with the
+// holder: a SIGKILLed writer leaves the journal resumable, not wedged.
+func lockFile(f *os.File) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err == syscall.EWOULDBLOCK {
+			return ErrLocked
+		}
+		return err
+	}
+}

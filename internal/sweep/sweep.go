@@ -179,36 +179,45 @@ type Point struct {
 	Err string `json:"err,omitempty"`
 }
 
-// pointDef is one expanded, not-yet-executed grid point.
-type pointDef struct {
-	index           int
-	cfgName, wlName string
-	seed            int64
-	cfg             config.Config
-	benchmarks      []string
-	key             string
+// PointDef is one expanded, not-yet-executed grid point: the resolved
+// configuration and workload of one shard, addressed by Index in
+// expansion order and by the content hash Key. PointDef is the unit of
+// distributed execution — a cluster coordinator leases batches of
+// PointDefs to workers, and the JSON encoding is the wire format — so
+// it carries everything a remote process needs to run the shard without
+// the enclosing Spec.
+type PointDef struct {
+	Index      int           `json:"index"`
+	Config     string        `json:"config"`
+	Workload   string        `json:"workload"`
+	Seed       int64         `json:"seed"`
+	Cfg        config.Config `json:"cfg"`
+	Benchmarks []string      `json:"benchmarks"`
+	Key        string        `json:"key"`
 }
 
-// expand enumerates the grid in deterministic order.
-func (s Spec) expand() []pointDef {
+// Points enumerates the grid in deterministic order (config-major, then
+// workload, then seed) — the same order every time for the same spec, so
+// Index is a stable address across processes and resumes.
+func (s Spec) Points() []PointDef {
 	seeds := s.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{0} // sentinel: keep each config's own seed
 	}
-	defs := make([]pointDef, 0, len(s.Configs)*len(s.Workloads)*len(seeds))
+	defs := make([]PointDef, 0, len(s.Configs)*len(s.Workloads)*len(seeds))
 	for _, nc := range s.Configs {
 		for _, w := range s.Workloads {
 			for _, seed := range seeds {
 				cfg := s.pointConfig(nc, seed)
 				cfg.CPU.Cores = len(w.Benchmarks)
-				defs = append(defs, pointDef{
-					index:      len(defs),
-					cfgName:    nc.Name,
-					wlName:     w.Name,
-					seed:       cfg.Seed,
-					cfg:        cfg,
-					benchmarks: w.Benchmarks,
-					key:        Key(cfg, w.Benchmarks),
+				defs = append(defs, PointDef{
+					Index:      len(defs),
+					Config:     nc.Name,
+					Workload:   w.Name,
+					Seed:       cfg.Seed,
+					Cfg:        cfg,
+					Benchmarks: w.Benchmarks,
+					Key:        Key(cfg, w.Benchmarks),
 				})
 			}
 		}
@@ -251,7 +260,7 @@ type Engine struct {
 	spec  Spec
 	run   RunFunc
 	cache *Cache
-	defs  []pointDef
+	defs  []PointDef
 
 	completed atomic.Int64
 	failed    atomic.Int64
@@ -282,7 +291,7 @@ func New(spec Spec, opts Options) (*Engine, error) {
 		spec:       spec,
 		run:        run,
 		cache:      cache,
-		defs:       spec.expand(),
+		defs:       spec.Points(),
 		warmGroups: make(map[string]*warmupGroup),
 	}, nil
 }
@@ -317,12 +326,12 @@ func (e *Engine) Start(ctx context.Context) (<-chan Point, error) {
 	}
 
 	var (
-		j        *journal
+		j        *Journal
 		replayed map[int]Point
 		err      error
 	)
 	if e.spec.Journal != "" {
-		j, replayed, err = openJournal(e.spec.Journal, e.spec.Name, e.spec.Fingerprint())
+		j, replayed, err = OpenJournal(e.spec.Journal, e.spec.Name, e.spec.Fingerprint())
 		if err != nil {
 			return nil, err
 		}
@@ -331,8 +340,8 @@ func (e *Engine) Start(ctx context.Context) (<-chan Point, error) {
 	// a defense in depth behind the fingerprint check.
 	byIndex := make(map[int]Point, len(replayed))
 	for _, def := range e.defs {
-		if p, ok := replayed[def.index]; ok && p.Key == def.key {
-			byIndex[def.index] = p
+		if p, ok := replayed[def.Index]; ok && p.Key == def.Key {
+			byIndex[def.Index] = p
 		}
 	}
 
@@ -349,7 +358,7 @@ func (e *Engine) Start(ctx context.Context) (<-chan Point, error) {
 	go func() {
 		defer close(out)
 		if j != nil {
-			defer j.close()
+			defer j.Close()
 		}
 
 		// Replay journaled points first, in index order, and seed the
@@ -368,7 +377,7 @@ func (e *Engine) Start(ctx context.Context) (<-chan Point, error) {
 			out <- p
 		}
 
-		work := make(chan pointDef)
+		work := make(chan PointDef)
 		var wg sync.WaitGroup
 		for i := 0; i < parallel; i++ {
 			wg.Add(1)
@@ -380,7 +389,7 @@ func (e *Engine) Start(ctx context.Context) (<-chan Point, error) {
 			}()
 		}
 		for _, def := range e.defs {
-			if _, done := byIndex[def.index]; done {
+			if _, done := byIndex[def.Index]; done {
 				continue
 			}
 			if ctx.Err() != nil {
@@ -396,16 +405,16 @@ func (e *Engine) Start(ctx context.Context) (<-chan Point, error) {
 
 // runPoint executes one shard: single-flight cached simulation,
 // canonicalization, journaling, emission.
-func (e *Engine) runPoint(ctx context.Context, def pointDef, j *journal, out chan<- Point) {
-	res, hit, err := e.cache.Do(ctx, def.key, func() (system.Results, error) {
+func (e *Engine) runPoint(ctx context.Context, def PointDef, j *Journal, out chan<- Point) {
+	res, hit, err := e.cache.Do(ctx, def.Key, func() (system.Results, error) {
 		return e.runShard(ctx, def)
 	})
 	p := Point{
-		Index:    def.index,
-		Config:   def.cfgName,
-		Workload: def.wlName,
-		Seed:     def.seed,
-		Key:      def.key,
+		Index:    def.Index,
+		Config:   def.Config,
+		Workload: def.Workload,
+		Seed:     def.Seed,
+		Key:      def.Key,
 	}
 	switch {
 	case err == nil:
@@ -421,7 +430,7 @@ func (e *Engine) runPoint(ctx context.Context, def pointDef, j *journal, out cha
 			e.cacheHits.Add(1)
 		}
 		if j != nil {
-			j.append(p)
+			j.Append(p)
 		}
 		e.completed.Add(1)
 		out <- p

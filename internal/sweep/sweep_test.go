@@ -107,7 +107,7 @@ func TestSpecValidate(t *testing.T) {
 func TestExpandOrderAndOverrides(t *testing.T) {
 	s := testSpec(2, 2)
 	s.Seeds = []int64{5, 9}
-	defs := s.expand()
+	defs := s.Points()
 	if len(defs) != 8 {
 		t.Fatalf("expanded %d points, want 8", len(defs))
 	}
@@ -122,15 +122,15 @@ func TestExpandOrderAndOverrides(t *testing.T) {
 		{"cfg-1", "wl-1", 5}, {"cfg-1", "wl-1", 9},
 	}
 	for i, d := range defs {
-		if d.index != i || d.cfgName != want[i].cfg || d.wlName != want[i].wl || d.seed != want[i].seed {
+		if d.Index != i || d.Config != want[i].cfg || d.Workload != want[i].wl || d.Seed != want[i].seed {
 			t.Fatalf("point %d = {%d %s %s %d}, want {%d %s %s %d}",
-				i, d.index, d.cfgName, d.wlName, d.seed, i, want[i].cfg, want[i].wl, want[i].seed)
+				i, d.Index, d.Config, d.Workload, d.Seed, i, want[i].cfg, want[i].wl, want[i].seed)
 		}
-		if d.cfg.MaxInsts != 10_000 || d.cfg.WarmupInsts != 1_000 {
-			t.Fatalf("point %d budgets not overridden: %+v", i, d.cfg)
+		if d.Cfg.MaxInsts != 10_000 || d.Cfg.WarmupInsts != 1_000 {
+			t.Fatalf("point %d budgets not overridden: %+v", i, d.Cfg)
 		}
-		if d.cfg.CPU.Cores != len(d.benchmarks) {
-			t.Fatalf("point %d cores %d != %d benchmarks", i, d.cfg.CPU.Cores, len(d.benchmarks))
+		if d.Cfg.CPU.Cores != len(d.Benchmarks) {
+			t.Fatalf("point %d cores %d != %d benchmarks", i, d.Cfg.CPU.Cores, len(d.Benchmarks))
 		}
 	}
 }

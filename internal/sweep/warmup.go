@@ -53,11 +53,11 @@ func (g *warmupGroup) publish(data []byte) {
 // warmupGroupFor returns def's rendezvous and whether this caller is its
 // leader. Returns nil when warmup sharing is off or the point has no warmup
 // phase to share.
-func (e *Engine) warmupGroupFor(def pointDef) (g *warmupGroup, leader bool) {
-	if !e.spec.ShareWarmup || def.cfg.WarmupInsts <= 0 {
+func (e *Engine) warmupGroupFor(def PointDef) (g *warmupGroup, leader bool) {
+	if !e.spec.ShareWarmup || def.Cfg.WarmupInsts <= 0 {
 		return nil, false
 	}
-	key := WarmupKey(def.cfg, def.benchmarks)
+	key := WarmupKey(def.Cfg, def.Benchmarks)
 	e.warmMu.Lock()
 	defer e.warmMu.Unlock()
 	g, ok := e.warmGroups[key]
@@ -72,21 +72,21 @@ func (e *Engine) warmupGroupFor(def pointDef) (g *warmupGroup, leader bool) {
 // the point's warmup group when the spec enables it. The context plumbing is
 // advisory: a RunFunc that ignores the checkpoint/restore specs (fakes,
 // instrumented wrappers) degrades to plain runs with no correctness impact.
-func (e *Engine) runShard(ctx context.Context, def pointDef) (system.Results, error) {
+func (e *Engine) runShard(ctx context.Context, def PointDef) (system.Results, error) {
 	g, leader := e.warmupGroupFor(def)
 	switch {
 	case g == nil:
-		if def.cfg.WarmupInsts > 0 {
+		if def.Cfg.WarmupInsts > 0 {
 			e.warmups.Add(1)
 		}
-		return e.run(ctx, def.cfg, def.benchmarks)
+		return e.run(ctx, def.Cfg, def.Benchmarks)
 
 	case leader:
 		// Leader: warm up from cycle zero, snapshotting the machine at the
 		// warmup boundary under the group's key (not the point's own, so
 		// every group member can restore it). The rendezvous is always
 		// released, even when the run ends without a checkpoint.
-		key := WarmupKey(def.cfg, def.benchmarks)
+		key := WarmupKey(def.Cfg, def.Benchmarks)
 		e.warmups.Add(1)
 		defer g.publish(nil)
 		ctx := system.WithCheckpoint(ctx, system.CheckpointSpec{
@@ -97,7 +97,7 @@ func (e *Engine) runShard(ctx context.Context, def pointDef) (system.Results, er
 				return nil
 			},
 		})
-		return e.run(ctx, def.cfg, def.benchmarks)
+		return e.run(ctx, def.Cfg, def.Benchmarks)
 
 	default:
 		// Follower: wait for the leader's warm snapshot, then run the
@@ -110,10 +110,10 @@ func (e *Engine) runShard(ctx context.Context, def pointDef) (system.Results, er
 		if g.data == nil {
 			// The leader produced no snapshot; warm up independently.
 			e.warmups.Add(1)
-			return e.run(ctx, def.cfg, def.benchmarks)
+			return e.run(ctx, def.Cfg, def.Benchmarks)
 		}
-		key := WarmupKey(def.cfg, def.benchmarks)
+		key := WarmupKey(def.Cfg, def.Benchmarks)
 		ctx := system.WithRestore(ctx, system.RestoreSpec{Data: g.data, Fingerprint: key})
-		return e.run(ctx, def.cfg, def.benchmarks)
+		return e.run(ctx, def.Cfg, def.Benchmarks)
 	}
 }

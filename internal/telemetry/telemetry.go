@@ -203,9 +203,28 @@ func (st *Stream) dropLocked(sub *Subscriber) {
 // already closed; the replay still carries the history including the end
 // event.
 func (st *Stream) Subscribe() (replay []Event, sub *Subscriber) {
+	return st.SubscribeFrom(0)
+}
+
+// SubscribeFrom is Subscribe for a reconnecting client that has already
+// consumed every event up to and including sequence number after: the
+// replay carries only the ring's events with Seq > after, so a resumed
+// SSE connection (Last-Event-ID) picks up where it left off instead of
+// re-reading the whole history. after <= 0 replays everything retained.
+// Events older than the ring bound are gone either way; the caller can
+// detect that gap by comparing the first replayed Seq against after+1.
+func (st *Stream) SubscribeFrom(after int64) (replay []Event, sub *Subscriber) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	replay = st.eventsLocked()
+	if after > 0 {
+		// The ring is Seq-ordered oldest-first; skip the consumed prefix.
+		i := 0
+		for i < len(replay) && replay[i].Seq <= after {
+			i++
+		}
+		replay = replay[i:]
+	}
 	ch := make(chan Event, st.opts.SubBuffer)
 	sub = &Subscriber{C: ch, ch: ch, st: st}
 	if st.closed {
@@ -215,6 +234,16 @@ func (st *Stream) Subscribe() (replay []Event, sub *Subscriber) {
 	}
 	st.subs[sub] = struct{}{}
 	return replay, sub
+}
+
+// Terminal reports the stream's last published sequence number and
+// whether the stream has closed (published its end event). A reconnect
+// that has already consumed through lastSeq of a closed stream has
+// nothing left to read.
+func (st *Stream) Terminal() (lastSeq int64, closed bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.seq, st.closed
 }
 
 // eventsLocked copies the ring oldest-first. Caller holds st.mu.

@@ -275,3 +275,75 @@ func TestEpochDynamicEnergyPairsRule(t *testing.T) {
 		t.Fatalf("zero epoch energy = %v, want 0", got)
 	}
 }
+
+func TestSubscribeFromSkipsConsumedPrefix(t *testing.T) {
+	hub := NewHub(Options{})
+	st := hub.Open("job-1")
+	st.PublishState("queued")
+	st.PublishState("running")
+	st.PublishSample(sampleAt(0))
+	st.PublishSample(sampleAt(1))
+
+	replay, sub := st.SubscribeFrom(2)
+	defer sub.Cancel()
+	if len(replay) != 2 {
+		t.Fatalf("replay = %d events, want 2", len(replay))
+	}
+	if replay[0].Seq != 3 || replay[1].Seq != 4 {
+		t.Fatalf("replay seqs = %d, %d, want 3, 4", replay[0].Seq, replay[1].Seq)
+	}
+
+	// Fully caught up: empty replay, but the subscription is live.
+	replay2, sub2 := st.SubscribeFrom(4)
+	defer sub2.Cancel()
+	if len(replay2) != 0 {
+		t.Fatalf("caught-up replay = %d events, want 0", len(replay2))
+	}
+	st.PublishSample(sampleAt(2))
+	ev := <-sub2.C
+	if ev.Seq != 5 {
+		t.Fatalf("live event seq = %d, want 5", ev.Seq)
+	}
+}
+
+// after beyond the retained ring (or the whole history) degrades to an
+// empty replay, never a panic or a duplicate.
+func TestSubscribeFromBeyondHistory(t *testing.T) {
+	hub := NewHub(Options{MaxEvents: 4})
+	st := hub.Open("job-1")
+	for i := 0; i < 10; i++ {
+		st.PublishSample(sampleAt(i))
+	}
+	replay, sub := st.SubscribeFrom(100)
+	defer sub.Cancel()
+	if len(replay) != 0 {
+		t.Fatalf("replay = %d events, want 0", len(replay))
+	}
+	// An after older than the ring's oldest entry replays the whole ring:
+	// the gap is visible as first Seq > after+1.
+	replay2, sub2 := st.SubscribeFrom(2)
+	defer sub2.Cancel()
+	if len(replay2) != 4 || replay2[0].Seq != 7 {
+		t.Fatalf("replay = %d events starting at %d, want 4 starting at 7",
+			len(replay2), replay2[0].Seq)
+	}
+}
+
+func TestTerminal(t *testing.T) {
+	hub := NewHub(Options{})
+	st := hub.Open("job-1")
+	st.PublishState("running")
+	if seq, closed := st.Terminal(); seq != 1 || closed {
+		t.Fatalf("Terminal = (%d, %v), want (1, false)", seq, closed)
+	}
+	st.Close("done")
+	seq, closed := st.Terminal()
+	if seq != 2 || !closed {
+		t.Fatalf("Terminal after close = (%d, %v), want (2, true)", seq, closed)
+	}
+	// A caught-up reconnect on the closed stream has nothing to replay.
+	replay, _ := st.SubscribeFrom(seq)
+	if len(replay) != 0 {
+		t.Fatalf("caught-up replay on closed stream = %d events, want 0", len(replay))
+	}
+}
