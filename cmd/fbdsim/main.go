@@ -34,6 +34,7 @@ func main() {
 		memKind  = flag.String("mem", "fbd", "memory system: ddr2, fbd, fbd-ap, fbd-apfl")
 		wlName   = flag.String("workload", "", "Table 3 workload name (e.g. 4C-1); overrides -bench")
 		benches  = flag.String("bench", "swim", "comma-separated benchmark list, one per core")
+		fid      = flag.String("fidelity", "", "simulation tier: cycle-accurate (default), sampled, analytic")
 		insts    = flag.Int64("insts", 300_000, "measured instructions per core")
 		warmup   = flag.Int64("warmup", 40_000, "warmup instructions per core")
 		seed     = flag.Int64("seed", 1, "trace generation seed")
@@ -173,6 +174,13 @@ func main() {
 	if *restore != "" {
 		opts = append(opts, fbdsim.WithRestore(*restore))
 	}
+	if *fid != "" {
+		tier, err := fbdsim.ParseFidelity(*fid)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opts = append(opts, fbdsim.WithFidelity(tier))
+	}
 
 	res, err := fbdsim.Run(context.Background(), cfg, names, opts...)
 	if err != nil {
@@ -233,6 +241,17 @@ func main() {
 		fmt.Printf("  core %d %-10s IPC %.3f (%d instructions)\n", i, name, res.IPC[i], res.Committed[i])
 	}
 	fmt.Printf("total IPC   : %.3f\n", res.TotalIPC())
+	if e := res.Estimate; e != nil {
+		fmt.Printf("estimate    : %s tier", e.Tier)
+		if e.CI95 > 0 {
+			fmt.Printf(", IPC +/- %.4f (95%% CI)", e.CI95)
+		}
+		if e.Windows > 0 {
+			fmt.Printf(", %d windows, %d detailed / %d functional insts",
+				e.Windows, e.DetailedInsts, e.FunctionalInsts)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("reads       : %d (avg latency %.1f ns, p50/p90/p99 %.0f/%.0f/%.0f ns)\n",
 		res.Reads, res.AvgReadLatencyNS, res.P50LatencyNS, res.P90LatencyNS, res.P99LatencyNS)
 	fmt.Printf("writes      : %d\n", res.Writes)
@@ -308,6 +327,9 @@ func emitJSON(cfg fbdsim.Config, names []string, res fbdsim.Results) {
 		out["faultRetryLatencyNS"] = res.Faults.RetryLatency.Nanoseconds()
 		out["faultAMBSoftErrors"] = res.Faults.AMBSoftErrors
 		out["faultRemapped"] = res.Faults.Remapped
+	}
+	if res.Estimate != nil {
+		out["estimate"] = res.Estimate
 	}
 	if res.Trace != nil {
 		out["trace"] = res.Trace

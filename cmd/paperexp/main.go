@@ -35,7 +35,7 @@ import (
 func main() {
 	var (
 		all      = flag.Bool("all", false, "run every experiment")
-		fig      = flag.String("fig", "", "comma-separated figure numbers (4-13), 'v1', or extensions 'e1'-'e6'")
+		fig      = flag.String("fig", "", "comma-separated figure numbers (4-13), 'v1', or extensions 'e1'-'e6', 'e8'")
 		quick    = flag.Bool("quick", false, "use the reduced workload set")
 		insts    = flag.Int64("insts", 300_000, "measured instructions per core per run")
 		warmup   = flag.Int64("warmup", 40_000, "warmup instructions per core per run")
@@ -45,6 +45,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory to write per-figure CSV files into")
 		journal  = flag.String("journal", "", "directory for sweep checkpoint journals; re-running with the same flags resumes")
 		abort    = flag.Int("abort-after", 0, "abort the suite after N fresh simulations (exit 3); used with -journal to test resume")
+		fid      = flag.String("fidelity", "", "simulation tier for every run: cycle-accurate (default), sampled, or analytic")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		Parallel:         *parallel,
 		Journal:          *journal,
 		AbortAfterPoints: *abort,
+		Fidelity:         *fid,
 	}
 	if *quick {
 		opts.Workloads = exp.QuickWorkloads()
@@ -72,7 +74,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *all {
-		for _, f := range []string{"v1", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "e1", "e2", "e3", "e4", "e5", "e6"} {
+		for _, f := range []string{"v1", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "e1", "e2", "e3", "e4", "e5", "e6", "e8"} {
 			want[f] = true
 		}
 	}
@@ -116,6 +118,7 @@ func main() {
 		{"e4", runFig(func() (formatter, error) { d, err := exp.ExtensionSeedSensitivity(runner, nil); return d, err })},
 		{"e5", runFig(func() (formatter, error) { d, err := exp.ExtensionDDR3(runner); return d, err })},
 		{"e6", runFig(func() (formatter, error) { d, err := exp.ExtensionFaultSweep(runner); return d, err })},
+		{"e8", runFig(func() (formatter, error) { d, err := exp.ExtensionTieredFidelity(runner); return d, err })},
 	}
 
 	start := time.Now()

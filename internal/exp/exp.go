@@ -22,6 +22,7 @@ import (
 
 	"fbdsim/internal/clock"
 	"fbdsim/internal/config"
+	"fbdsim/internal/fidelity"
 	"fbdsim/internal/stats"
 	"fbdsim/internal/sweep"
 	"fbdsim/internal/system"
@@ -68,6 +69,11 @@ type Options struct {
 	// fresh simulations have completed — a deterministic kill switch for
 	// exercising journal resume (sweeps then fail with ErrAborted).
 	AbortAfterPoints int
+	// Fidelity selects the simulation tier for every run in the suite:
+	// "cycle-accurate" (default), "sampled", or "analytic". Estimate tiers
+	// key the shared cache and journal fingerprints with a tier prefix, so
+	// a triage pass never pollutes cycle-accurate results.
+	Fidelity string
 }
 
 // Validate rejects option values that a front door (flag parsing, request
@@ -81,6 +87,9 @@ func (o Options) Validate() error {
 	}
 	if o.AbortAfterPoints < 0 {
 		return fmt.Errorf("exp: negative AbortAfterPoints %d", o.AbortAfterPoints)
+	}
+	if _, err := fidelity.Parse(o.Fidelity); err != nil {
+		return fmt.Errorf("exp: %v", err)
 	}
 	return nil
 }
@@ -102,6 +111,14 @@ func (o Options) norm() Options {
 	}
 	if o.Workloads == nil {
 		o.Workloads = workload.All()
+	}
+	// Normalize so that "cycle-accurate" and "" key caches identically.
+	if t, err := fidelity.Parse(o.Fidelity); err == nil {
+		if t == fidelity.CycleAccurate {
+			o.Fidelity = ""
+		} else {
+			o.Fidelity = string(t)
+		}
 	}
 	return o
 }
@@ -174,10 +191,10 @@ func (r *Runner) normalize(cfg config.Config, cores int) config.Config {
 	return cfg
 }
 
-// simulate is the Runner's sweep.RunFunc: the real simulator behind the
-// global parallelism bound, with wall-time and miss accounting and the
-// AbortAfterPoints kill switch.
-func (r *Runner) simulate(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
+// measured runs one simulation behind the global parallelism bound, with
+// wall-time and miss accounting and the AbortAfterPoints kill switch. It is
+// the shared backend of simulate (cycle-accurate) and simulateTier.
+func (r *Runner) measured(ctx context.Context, run func() (system.Results, error)) (system.Results, error) {
 	select {
 	case r.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -185,7 +202,7 @@ func (r *Runner) simulate(ctx context.Context, cfg config.Config, benchmarks []s
 	}
 	defer func() { <-r.sem }()
 	start := time.Now()
-	res, err := system.RunWorkloadContext(ctx, cfg, benchmarks)
+	res, err := run()
 	r.simNanos.Add(time.Since(start).Nanoseconds())
 	if err != nil {
 		return res, err
@@ -195,6 +212,21 @@ func (r *Runner) simulate(ctx context.Context, cfg config.Config, benchmarks []s
 		r.abortCancel()
 	}
 	return res, nil
+}
+
+// simulate is the Runner's sweep.RunFunc: the cycle-accurate simulator.
+func (r *Runner) simulate(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
+	return r.measured(ctx, func() (system.Results, error) {
+		return system.RunWorkloadContext(ctx, cfg, benchmarks)
+	})
+}
+
+// simulateTier is the Runner's sweep.TierRunFunc: the same accounting, but
+// dispatching through the requested fidelity tier.
+func (r *Runner) simulateTier(ctx context.Context, tier string, cfg config.Config, benchmarks []string) (system.Results, error) {
+	return r.measured(ctx, func() (system.Results, error) {
+		return fidelity.Run(ctx, fidelity.Tier(tier), cfg, benchmarks)
+	})
 }
 
 // Run simulates cfg on the benchmark mix, memoized. The Runner's
@@ -210,8 +242,11 @@ func (r *Runner) Run(cfg config.Config, benchmarks []string) (system.Results, er
 // concurrent waiters coalesced onto a cancelled run observe its error.
 func (r *Runner) RunContext(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
 	cfg = r.normalize(cfg, len(benchmarks))
-	key := sweep.Key(cfg, benchmarks)
+	key := fidelity.Key(fidelity.Tier(r.opts.Fidelity), cfg, benchmarks)
 	res, hit, err := r.cache.Do(ctx, key, func() (system.Results, error) {
+		if r.opts.Fidelity != "" {
+			return r.simulateTier(ctx, r.opts.Fidelity, cfg, benchmarks)
+		}
 		return r.simulate(ctx, cfg, benchmarks)
 	})
 	if hit {
@@ -234,12 +269,13 @@ func (r *Runner) sweep(name string, cfgs []sweep.NamedConfig, ws []workload.Work
 		MaxInsts:    r.opts.MaxInsts,
 		WarmupInsts: r.opts.WarmupInsts,
 		Parallel:    r.opts.Parallel,
+		Fidelity:    r.opts.Fidelity,
 	}
 	if r.opts.Journal != "" {
 		spec.Journal = filepath.Join(r.opts.Journal,
 			fmt.Sprintf("%s-%.12s.ndjson", name, spec.Fingerprint()))
 	}
-	eng, err := sweep.New(spec, sweep.Options{Run: r.simulate, Cache: r.cache})
+	eng, err := sweep.New(spec, sweep.Options{Run: r.simulate, RunTier: r.simulateTier, Cache: r.cache})
 	if err != nil {
 		return nil, err
 	}

@@ -86,6 +86,18 @@ func (c Counters) Sub(w Counters) Counters {
 	}
 }
 
+// Add returns c + w (the sampling tier folds per-window deltas together).
+func (c Counters) Add(w Counters) Counters {
+	return Counters{
+		SouthFrameErrors: c.SouthFrameErrors + w.SouthFrameErrors,
+		NorthFrameErrors: c.NorthFrameErrors + w.NorthFrameErrors,
+		Retries:          c.Retries + w.Retries,
+		RetryLatency:     c.RetryLatency + w.RetryLatency,
+		AMBSoftErrors:    c.AMBSoftErrors + w.AMBSoftErrors,
+		Remapped:         c.Remapped + w.Remapped,
+	}
+}
+
 // LinkErrors returns the total frame errors across both links.
 func (c Counters) LinkErrors() int64 { return c.SouthFrameErrors + c.NorthFrameErrors }
 

@@ -1,0 +1,87 @@
+package fidelity
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"fbdsim/internal/config"
+	"fbdsim/internal/snapshot"
+)
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Tier
+		ok   bool
+	}{
+		{"", CycleAccurate, true},
+		{"cycle-accurate", CycleAccurate, true},
+		{"sampled", Sampled, true},
+		{"analytic", Analytic, true},
+		{"fast", "", false},
+		{"SAMPLED", "", false},
+	} {
+		got, err := Parse(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("Parse(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	if !Tier("").Valid() || Tier("fast").Valid() {
+		t.Error("Valid() disagrees with Parse")
+	}
+	if Tier("").String() != "cycle-accurate" {
+		t.Errorf("zero tier prints %q", Tier("").String())
+	}
+}
+
+func TestKeyCompatibility(t *testing.T) {
+	cfg := config.Default()
+	bench := []string{"swim"}
+	plain := snapshot.Fingerprint(cfg, bench)
+	// The cycle-accurate key IS the historical fingerprint — both
+	// spellings of the default.
+	if Key("", cfg, bench) != plain || Key(CycleAccurate, cfg, bench) != plain {
+		t.Error("cycle-accurate key must equal the bare snapshot fingerprint")
+	}
+	// Cheaper tiers are tagged and mutually distinct.
+	ks, ka := Key(Sampled, cfg, bench), Key(Analytic, cfg, bench)
+	if ks == plain || ka == plain || ks == ka {
+		t.Errorf("tier keys not distinct: %q %q %q", plain, ks, ka)
+	}
+	if !strings.HasPrefix(ks, "sampled:") || !strings.HasPrefix(ka, "analytic:") {
+		t.Errorf("tier keys not tagged: %q %q", ks, ka)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	cfg := config.Default()
+	cfg.MaxInsts = 60_000
+	cfg.WarmupInsts = 10_000
+	ctx := context.Background()
+
+	if _, err := Run(ctx, "nope", cfg, []string{"swim"}); err == nil {
+		t.Fatal("unknown tier must error")
+	}
+	full, err := Run(ctx, CycleAccurate, cfg, []string{"swim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Estimate != nil {
+		t.Error("cycle-accurate results must not carry an Estimate")
+	}
+	sampled, err := Run(ctx, Sampled, cfg, []string{"swim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Estimate == nil || sampled.Estimate.Tier != "sampled" {
+		t.Errorf("sampled estimate marker missing: %+v", sampled.Estimate)
+	}
+	analytic, err := Run(ctx, Analytic, cfg, []string{"swim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analytic.Estimate == nil || analytic.Estimate.Tier != "analytic" {
+		t.Errorf("analytic estimate marker missing: %+v", analytic.Estimate)
+	}
+}

@@ -1,0 +1,128 @@
+package sample
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"fbdsim/internal/config"
+	"fbdsim/internal/system"
+)
+
+// accuracyCase is one seed workload × configuration point of the sampling
+// contract.
+type accuracyCase struct {
+	name       string
+	cfg        config.Config
+	benchmarks []string
+}
+
+func accuracyCases(short bool) []accuracyCase {
+	fbd := config.Default()
+	ap := config.WithAMBPrefetch(config.Default())
+	ddr2 := config.DDR2Baseline()
+	cases := []accuracyCase{
+		{"fbd-ap/swim", ap, []string{"swim"}},
+		{"fbd/vpr", fbd, []string{"vpr"}},
+	}
+	if !short {
+		cases = append(cases,
+			accuracyCase{"ddr2/swim", ddr2, []string{"swim"}},
+			accuracyCase{"fbd-ap/2C-1", ap, []string{"wupwise", "swim"}},
+			accuracyCase{"fbd/4C-1", fbd, []string{"wupwise", "swim", "mgrid", "applu"}},
+		)
+	}
+	return cases
+}
+
+// TestSampledAccuracy is the tier's property test: on seed workloads the
+// sampled estimate must stay within 2% total-IPC error of the full
+// cycle-accurate run while simulating at least 10x (and at most 50x) fewer
+// instructions in detail.
+func TestSampledAccuracy(t *testing.T) {
+	for _, tc := range accuracyCases(testing.Short()) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := tc.cfg
+			// The contract is stated at production scale: sampling needs
+			// enough measured windows of enough length to average the
+			// traces' phase structure, which a few-hundred-k-instruction
+			// span cannot provide at a >=10x detail reduction.
+			cfg.MaxInsts = 2_000_000
+			cfg.WarmupInsts = 100_000
+			full, err := system.RunWorkload(cfg, tc.benchmarks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := Run(context.Background(), cfg, tc.benchmarks, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.Estimate == nil {
+				t.Fatal("sampled Results missing Estimate")
+			}
+			errPct := 100 * math.Abs(est.TotalIPC()-full.TotalIPC()) / full.TotalIPC()
+			span := cfg.WarmupInsts + cfg.MaxInsts
+			reduction := float64(span) / float64(est.Estimate.DetailedInsts)
+			t.Logf("full IPC %.4f  sampled %.4f ± %.4f  err %.2f%%  detail reduction %.1fx (detailed %d / span %d, windows %d)",
+				full.TotalIPC(), est.TotalIPC(), est.Estimate.CI95, errPct,
+				reduction, est.Estimate.DetailedInsts, span, est.Estimate.Windows)
+			if errPct >= 2.0 {
+				t.Errorf("IPC error %.2f%% >= 2%%", errPct)
+			}
+			if reduction < 10 || reduction > 50 {
+				t.Errorf("detailed-instruction reduction %.1fx outside the 10-50x contract", reduction)
+			}
+		})
+	}
+}
+
+// TestSampledEstimateShape checks the bookkeeping invariants of the
+// estimate: windows recorded, per-window IPCs present, CI non-negative,
+// counters plausible.
+func TestSampledEstimateShape(t *testing.T) {
+	cfg := config.WithAMBPrefetch(config.Default())
+	cfg.MaxInsts = 120_000
+	cfg.WarmupInsts = 20_000
+	r, err := Run(context.Background(), cfg, []string{"swim"}, Options{Windows: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := r.Estimate
+	if e == nil || e.Tier != "sampled" {
+		t.Fatalf("estimate = %+v, want sampled tier", e)
+	}
+	if e.Windows != 4 || len(e.PerWindowIPC) != 4 {
+		t.Fatalf("windows = %d, per-window IPCs = %d, want 4", e.Windows, len(e.PerWindowIPC))
+	}
+	if e.CI95 < 0 {
+		t.Errorf("negative CI95 %v", e.CI95)
+	}
+	if e.TotalIPC != r.TotalIPC() {
+		t.Errorf("estimate TotalIPC %v != results TotalIPC %v", e.TotalIPC, r.TotalIPC())
+	}
+	if e.DetailedInsts <= 0 || e.FunctionalInsts <= 0 {
+		t.Errorf("cost accounting empty: detailed %d functional %d", e.DetailedInsts, e.FunctionalInsts)
+	}
+	if r.Cycles <= 0 || r.Reads <= 0 {
+		t.Errorf("combined results implausible: cycles %d reads %d", r.Cycles, r.Reads)
+	}
+	for i, ipc := range r.IPC {
+		if ipc <= 0 {
+			t.Errorf("core %d IPC %v <= 0", i, ipc)
+		}
+	}
+}
+
+// TestSampledCancellation: a cancelled context aborts mid-schedule with the
+// context error.
+func TestSampledCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := config.Default()
+	cfg.MaxInsts = 200_000
+	if _, err := Run(ctx, cfg, []string{"swim"}, Options{}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"fbdsim/internal/cluster"
+	"fbdsim/internal/fidelity"
 	"fbdsim/internal/sweep"
 	"fbdsim/internal/system"
 )
@@ -212,7 +213,10 @@ func (s *Server) validateLease(lease *cluster.Lease) error {
 		if err := def.Cfg.Validate(); err != nil {
 			return fmt.Errorf("point %d: %v", def.Index, err)
 		}
-		if key := sweep.Key(def.Cfg, def.Benchmarks); key != def.Key {
+		if _, err := fidelity.Parse(def.Fidelity); err != nil {
+			return fmt.Errorf("point %d: %v", def.Index, err)
+		}
+		if key := fidelity.Key(fidelity.Tier(def.Fidelity), def.Cfg, def.Benchmarks); key != def.Key {
 			return fmt.Errorf("point %d: key mismatch (lease %s, computed %s)", def.Index, def.Key, key)
 		}
 	}
@@ -311,6 +315,9 @@ func (s *Server) handleClusterExecute(w http.ResponseWriter, r *http.Request) {
 // nil means the context was cancelled — nothing to report.
 func (s *Server) runLeasePoint(ctx context.Context, def sweep.PointDef) *sweep.Point {
 	res, _, err := s.cache.Do(ctx, def.Key, func() (system.Results, error) {
+		if def.Fidelity != "" {
+			return s.opts.RunTier(ctx, def.Fidelity, def.Cfg, def.Benchmarks)
+		}
 		return s.opts.Run(ctx, def.Cfg, def.Benchmarks)
 	})
 	p := &sweep.Point{
@@ -319,6 +326,7 @@ func (s *Server) runLeasePoint(ctx context.Context, def sweep.PointDef) *sweep.P
 		Workload: def.Workload,
 		Seed:     def.Seed,
 		Key:      def.Key,
+		Fidelity: def.Fidelity,
 	}
 	switch {
 	case err == nil:

@@ -136,7 +136,17 @@ func (s *Server) dashboardText() string {
 	}
 	for _, j := range jobs {
 		v := j.snapshotView(false)
-		line := fmt.Sprintf("  %-8s %-9s %-24s attempts=%d", v.ID, v.State, strings.Join(v.Benchmarks, "+"), v.Attempts)
+		tier := v.Fidelity
+		if tier == "" {
+			tier = "cycle-acc"
+		}
+		line := fmt.Sprintf("  %-8s %-9s %-10s %-24s attempts=%d", v.ID, v.State, tier, strings.Join(v.Benchmarks, "+"), v.Attempts)
+		if v.TotalIPC > 0 {
+			line += fmt.Sprintf("  ipc=%.3f", v.TotalIPC)
+			if v.IPCCI95 > 0 {
+				line += fmt.Sprintf("+/-%.3f", v.IPCCI95)
+			}
+		}
 		if v.WallMS > 0 {
 			line += fmt.Sprintf("  %.0f ms", v.WallMS)
 		}

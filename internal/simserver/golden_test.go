@@ -133,6 +133,51 @@ func TestGoldenSweepPoints(t *testing.T) {
 	checkGolden(t, "sweeppoints.golden.ndjson", raw)
 }
 
+// goldenTierRun returns fixed estimate-tier results: the same counters as
+// goldenRun plus the Estimate block a sampled/analytic run would carry.
+func goldenTierRun(ctx context.Context, tier string, cfg config.Config, benchmarks []string) (system.Results, error) {
+	res, _ := goldenRun(ctx, cfg, benchmarks)
+	res.Estimate = &system.EstimateInfo{
+		Tier:            tier,
+		TotalIPC:        1.25,
+		CI95:            0.02,
+		Windows:         12,
+		DetailedInsts:   30_000,
+		FunctionalInsts: 170_000,
+	}
+	return res, nil
+}
+
+// TestGoldenSampledJobView pins the JSON shape of a sampled job: the
+// fidelity field on the view, the results' Estimate block (tier, CI,
+// window accounting) and the headline ipc_ci95.
+func TestGoldenSampledJobView(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Run: goldenRun, RunTier: goldenTierRun})
+	_, v, _ := postJob(t, ts, `{"benchmarks": ["swim"], "seed": 42, "max_insts": 10000, "fidelity": "sampled"}`)
+	waitState(t, ts, v.ID, StateDone)
+	raw := goldenBody(t, ts, "/v1/jobs/"+v.ID)
+	checkGolden(t, "jobview_sampled.golden.json", normalize(t, raw, "wall_ms", "sim_cycles_per_sec"))
+}
+
+// TestGoldenSweepPointsFidelity pins the NDJSON point stream of a
+// mixed-fidelity sweep: the cycle-accurate point carries no fidelity field
+// (pre-fidelity journal compatibility), the analytic point is tagged and
+// its key tier-prefixed.
+func TestGoldenSweepPointsFidelity(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Run: goldenRun, RunTier: goldenTierRun})
+	_, v := postSweep(t, ts, `{
+		"name": "golden-fidelity",
+		"configs": [{"name": "fbd", "preset": "fbd"}, {"name": "fbd-triage", "preset": "fbd", "fidelity": "analytic"}],
+		"workloads": [{"benchmarks": ["swim"]}],
+		"seeds": [42],
+		"max_insts": 10000,
+		"parallel": 1
+	}`)
+	waitSweepState(t, ts, v.ID, StateDone)
+	raw := goldenBody(t, ts, "/v1/sweeps/"+v.ID+"/results")
+	checkGolden(t, "sweeppoints_fidelity.golden.ndjson", raw)
+}
+
 // TestGoldenErrorEnvelope pins the error envelope itself.
 func TestGoldenErrorEnvelope(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, Run: goldenRun})

@@ -66,6 +66,7 @@ import (
 
 	"fbdsim/internal/cluster"
 	"fbdsim/internal/config"
+	"fbdsim/internal/fidelity"
 	"fbdsim/internal/memtrace"
 	"fbdsim/internal/retry"
 	"fbdsim/internal/sweep"
@@ -77,6 +78,10 @@ import (
 // RunFunc executes one simulation. Tests substitute fakes; production uses
 // system.RunWorkloadContext.
 type RunFunc func(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error)
+
+// TierRunFunc executes one estimate-tier simulation ("sampled" or
+// "analytic"). Tests substitute fakes; production uses fidelity.Run.
+type TierRunFunc func(ctx context.Context, tier string, cfg config.Config, benchmarks []string) (system.Results, error)
 
 // Options configures a Server. The zero value gets sensible defaults.
 type Options struct {
@@ -135,6 +140,15 @@ type Options struct {
 	Telemetry telemetry.Options
 	// Run overrides the simulation function (tests).
 	Run RunFunc
+	// RunTier overrides the estimate-tier executor (tests). Jobs and
+	// sweep points submitted with "fidelity": "sampled" or "analytic" go
+	// through it; everything else goes through Run.
+	RunTier TierRunFunc
+	// FastWorkers is the size of the dedicated pool draining the
+	// fast lane — the queue analytic jobs are admitted to, so a
+	// sub-second estimate is never stuck behind queued cycle-accurate
+	// work (default 1).
+	FastWorkers int
 }
 
 func (o Options) norm() Options {
@@ -180,6 +194,14 @@ func (o Options) norm() Options {
 	if o.Run == nil {
 		o.Run = system.RunWorkloadContext
 	}
+	if o.RunTier == nil {
+		o.RunTier = func(ctx context.Context, tier string, cfg config.Config, benchmarks []string) (system.Results, error) {
+			return fidelity.Run(ctx, fidelity.Tier(tier), cfg, benchmarks)
+		}
+	}
+	if o.FastWorkers <= 0 {
+		o.FastWorkers = 1
+	}
 	return o
 }
 
@@ -211,7 +233,11 @@ type job struct {
 	key        string
 	cfg        config.Config
 	benchmarks []string
-	submitted  time.Time
+	// fidelity is the job's simulation tier: "" (cycle-accurate),
+	// "sampled" or "analytic". Estimate tiers run through
+	// Options.RunTier and cannot be paused, traced or checkpointed.
+	fidelity  string
+	submitted time.Time
 	// retries is the client-requested transient-failure retry budget,
 	// clamped to Options.MaxJobRetries at submission.
 	retries int
@@ -252,6 +278,7 @@ func (j *job) snapshotView(withResults bool) jobView {
 		Key:             j.key,
 		State:           string(j.state),
 		Benchmarks:      j.benchmarks,
+		Fidelity:        j.fidelity,
 		Attempts:        j.attempts,
 		Error:           j.errMsg,
 		CheckpointBytes: len(j.checkpoint),
@@ -261,6 +288,12 @@ func (j *job) snapshotView(withResults bool) jobView {
 		v.WallMS = float64(wall) / float64(time.Millisecond)
 		if j.state == StateDone && wall > 0 {
 			v.SimCyclesPerSec = float64(j.res.Cycles) / wall.Seconds()
+		}
+	}
+	if j.state == StateDone {
+		v.TotalIPC = j.res.TotalIPC()
+		if e := j.res.Estimate; e != nil {
+			v.IPCCI95 = e.CI95
 		}
 	}
 	if withResults && j.state == StateDone {
@@ -311,7 +344,11 @@ type Server struct {
 	metrics *Metrics
 	cache   *sweep.Cache
 	queue   chan *job
-	hub     *telemetry.Hub
+	// fastQueue is the analytic-job lane, drained by its own worker
+	// pool: a sub-second estimate never waits behind queued
+	// cycle-accurate simulations.
+	fastQueue chan *job
+	hub       *telemetry.Hub
 	log     *slog.Logger
 	started time.Time
 	occ     occHistory
@@ -354,6 +391,7 @@ func New(opts Options) *Server {
 		metrics:    newMetrics(),
 		cache:      sweep.NewCache(o.CacheEntries),
 		queue:      make(chan *job, o.QueueDepth),
+		fastQueue:  make(chan *job, o.QueueDepth),
 		hub:        telemetry.NewHub(o.Telemetry),
 		log:        o.Logger,
 		started:    time.Now(),
@@ -370,6 +408,7 @@ func New(opts Options) *Server {
 	}
 	reg := s.metrics.Registry()
 	reg.Func("queue_depth", func() any { return len(s.queue) })
+	reg.Func("fast_queue_depth", func() any { return len(s.fastQueue) })
 	reg.Func("workers", func() any { return o.Workers })
 	reg.Func("workers_busy", func() any { return s.busy.Load() })
 	reg.Func("cache_entries", func() any { return s.cache.Len() })
@@ -390,16 +429,46 @@ func New(opts Options) *Server {
 		s.workerWG.Add(1)
 		go s.worker()
 	}
+	for i := 0; i < o.FastWorkers; i++ {
+		s.workerWG.Add(1)
+		go s.fastWorker()
+	}
 	return s
 }
 
 // Metrics exposes the server's counters (tests, embedding binaries).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// worker drains the queue until it is closed by Shutdown.
+// worker drains the queue until it is closed by Shutdown. When the main
+// queue has nothing ready, an idle worker helps the fast lane.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
-	for j := range s.queue {
+	for {
+		select {
+		case j, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.runJob(j)
+		case j, ok := <-s.fastQueue:
+			if !ok {
+				// Fast lane closed; keep draining the main queue.
+				for j := range s.queue {
+					s.runJob(j)
+				}
+				return
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// fastWorker drains only the fast lane, so analytic estimates keep their
+// sub-second latency even when every general worker is deep in a
+// cycle-accurate run.
+func (s *Server) fastWorker() {
+	defer s.workerWG.Done()
+	for j := range s.fastQueue {
 		s.runJob(j)
 	}
 }
@@ -436,6 +505,9 @@ func (s *Server) runSim(ctx context.Context, j *job) (res system.Results, err er
 	j.mu.Lock()
 	j.attempts++
 	j.mu.Unlock()
+	if j.fidelity != "" {
+		return s.opts.RunTier(ctx, j.fidelity, j.cfg, j.benchmarks)
+	}
 	return s.opts.Run(ctx, j.cfg, j.benchmarks)
 }
 
@@ -457,28 +529,35 @@ func (s *Server) runJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, s.opts.JobTimeout)
 		defer cancel()
 	}
-	// Arm the pause trigger: when fired, the simulator snapshots itself at
-	// the next cycle boundary, hands the bytes here, and ends the run with
-	// ErrPaused. The checkpoint is stored before finish() runs, so the
-	// artifact is available the moment the job reports "paused". A RunFunc
-	// that ignores the context (test fakes) simply never pauses.
-	ctx = system.WithCheckpoint(ctx, system.CheckpointSpec{
-		Trigger: j.pauseTrig,
-		OnCheckpoint: func(cp system.Checkpoint) error {
-			j.mu.Lock()
-			j.checkpoint = append([]byte(nil), cp.Data...)
-			j.mu.Unlock()
-			return nil
-		},
-	})
-	if j.restore != nil {
-		ctx = system.WithRestore(ctx, system.RestoreSpec{Data: j.restore})
-	}
-	// Traced jobs publish their epoch series live: the hub sink rides the
-	// recorder's epoch-flush seam, so untraced jobs pay nothing and traced
-	// ones pay one publish per 1024-cycle measurement boundary.
-	if j.cfg.Trace.Enabled && j.stream != nil {
-		ctx = system.WithEpochSink(ctx, telemetry.NewJobSink(j.stream))
+	// Estimate-tier jobs skip the cycle-accurate context plumbing: the
+	// sampled tier drives the machine through its own stepping API (an
+	// armed checkpoint spec would corrupt its window surgery) and the
+	// analytic tier has no machine at all. Pause, checkpoint and trace
+	// are rejected for these jobs at submission.
+	if j.fidelity == "" {
+		// Arm the pause trigger: when fired, the simulator snapshots itself at
+		// the next cycle boundary, hands the bytes here, and ends the run with
+		// ErrPaused. The checkpoint is stored before finish() runs, so the
+		// artifact is available the moment the job reports "paused". A RunFunc
+		// that ignores the context (test fakes) simply never pauses.
+		ctx = system.WithCheckpoint(ctx, system.CheckpointSpec{
+			Trigger: j.pauseTrig,
+			OnCheckpoint: func(cp system.Checkpoint) error {
+				j.mu.Lock()
+				j.checkpoint = append([]byte(nil), cp.Data...)
+				j.mu.Unlock()
+				return nil
+			},
+		})
+		if j.restore != nil {
+			ctx = system.WithRestore(ctx, system.RestoreSpec{Data: j.restore})
+		}
+		// Traced jobs publish their epoch series live: the hub sink rides the
+		// recorder's epoch-flush seam, so untraced jobs pay nothing and traced
+		// ones pay one publish per 1024-cycle measurement boundary.
+		if j.cfg.Trace.Enabled && j.stream != nil {
+			ctx = system.WithEpochSink(ctx, telemetry.NewJobSink(j.stream))
+		}
 	}
 	start := time.Now()
 	var (
@@ -542,8 +621,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.closed = true
 		s.mu.Unlock()
 		// No submission can be in flight past this point: enqueue happens
-		// under s.mu with the closed check, so closing the channel is safe.
+		// under s.mu with the closed check, so closing the channels is safe.
 		close(s.queue)
+		close(s.fastQueue)
 		// Wake every SSE handler so streaming connections end now, not at
 		// the end of the HTTP server's grace period.
 		close(s.shutdownCh)
@@ -586,6 +666,12 @@ type submitRequest struct {
 	// timeline artifacts are then served at /v1/jobs/{id}/trace and
 	// /v1/jobs/{id}/timeline once the job completes.
 	Trace bool `json:"trace"`
+	// Fidelity selects the simulation tier: "cycle-accurate" (or "",
+	// the default), "sampled" or "analytic". Analytic jobs are admitted
+	// to a dedicated fast lane and never queue behind cycle-accurate
+	// work; sampled and analytic jobs cannot be traced, paused or
+	// checkpointed.
+	Fidelity string `json:"fidelity"`
 	// Retries requests up to this many transient-failure retries (capped
 	// by the server's MaxJobRetries). Cancellations, deadline expiries
 	// and panics are never retried.
@@ -604,10 +690,18 @@ type jobView struct {
 	Key        string   `json:"key"`
 	State      string   `json:"state"`
 	Benchmarks []string `json:"benchmarks,omitempty"`
-	Coalesced  bool     `json:"coalesced,omitempty"`
-	Cached     bool     `json:"cached,omitempty"`
-	Attempts   int      `json:"attempts,omitempty"`
-	WallMS     float64  `json:"wall_ms,omitempty"`
+	// Fidelity is the job's simulation tier; absent means
+	// cycle-accurate (so pre-fidelity clients and goldens see
+	// byte-identical responses).
+	Fidelity string `json:"fidelity,omitempty"`
+	// TotalIPC is the done job's headline result; IPCCI95 is the 95%
+	// confidence half-width on it for sampled jobs (absent otherwise).
+	TotalIPC  float64 `json:"total_ipc,omitempty"`
+	IPCCI95   float64 `json:"ipc_ci95,omitempty"`
+	Coalesced bool    `json:"coalesced,omitempty"`
+	Cached    bool    `json:"cached,omitempty"`
+	Attempts  int     `json:"attempts,omitempty"`
+	WallMS    float64 `json:"wall_ms,omitempty"`
 	// SimCyclesPerSec is the completed job's simulation throughput:
 	// simulated CPU cycles divided by the attempt's wall time.
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
@@ -621,6 +715,7 @@ type jobView struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
@@ -762,7 +857,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.FromCheckpoint != "" {
+		if req.Fidelity != "" {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				"from_checkpoint resumes cycle-accurately; fidelity cannot accompany it")
+			return
+		}
 		s.resumeFromCheckpoint(w, &req)
+		return
+	}
+	tier, err := fidelity.Parse(req.Fidelity)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+		return
+	}
+	fid := ""
+	if tier != fidelity.CycleAccurate {
+		fid = string(tier)
+	}
+	if fid != "" && req.Trace {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"tracing requires cycle-accurate fidelity; %s jobs return estimates", fid)
 		return
 	}
 	cfg, err := s.buildConfig(&req)
@@ -770,7 +884,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
-	s.admit(w, Key(cfg, req.Benchmarks), cfg, req.Benchmarks, req.Retries, nil)
+	s.admit(w, fidelity.Key(tier, cfg, req.Benchmarks), cfg, req.Benchmarks, req.Retries, nil, fid)
 }
 
 // resumeFromCheckpoint admits a job that continues a paused job's simulation
@@ -797,13 +911,13 @@ func (s *Server) resumeFromCheckpoint(w http.ResponseWriter, req *submitRequest)
 			"job %s is %s; only a paused job's checkpoint can be resumed", src.id, state)
 		return
 	}
-	s.admit(w, src.key, src.cfg, src.benchmarks, req.Retries, data)
+	s.admit(w, src.key, src.cfg, src.benchmarks, req.Retries, data, "")
 }
 
 // admit runs the shared admission path: cache fast path, in-flight
 // coalescing, then enqueue. restore, when non-nil, is the snapshot the job
 // starts from.
-func (s *Server) admit(w http.ResponseWriter, key string, cfg config.Config, benchmarks []string, retries int, restore []byte) {
+func (s *Server) admit(w http.ResponseWriter, key string, cfg config.Config, benchmarks []string, retries int, restore []byte, fid string) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -814,6 +928,7 @@ func (s *Server) admit(w http.ResponseWriter, key string, cfg config.Config, ben
 	if res, ok := s.cache.Get(key); ok {
 		id := s.newIDLocked()
 		j := s.newJobLocked(id, key, cfg, benchmarks, 0)
+		j.fidelity = fid
 		j.finish(StateDone, res, "")
 		j.cancel() // release the job context; nothing will run
 		s.metrics.Accepted.Inc()
@@ -835,12 +950,19 @@ func (s *Server) admit(w http.ResponseWriter, key string, cfg config.Config, ben
 		writeJSON(w, http.StatusAccepted, v)
 		return
 	}
-	// Slow path: a fresh simulation must be queued.
+	// Slow path: a fresh simulation must be queued. Analytic jobs take
+	// the fast lane — its dedicated workers guarantee they never wait
+	// behind queued cycle-accurate simulations.
 	id := s.newIDLocked()
 	j := s.newJobLocked(id, key, cfg, benchmarks, retries)
+	j.fidelity = fid
 	j.restore = restore
+	lane := s.queue
+	if fid == string(fidelity.Analytic) {
+		lane = s.fastQueue
+	}
 	select {
-	case s.queue <- j:
+	case lane <- j:
 	default:
 		delete(s.jobs, id)
 		j.cancel()
@@ -854,7 +976,8 @@ func (s *Server) admit(w http.ResponseWriter, key string, cfg config.Config, ben
 	s.metrics.Accepted.Inc()
 	s.metrics.CacheMisses.Inc()
 	s.mu.Unlock()
-	s.log.Info("job accepted", "job_id", j.id, "benchmarks", benchmarks, "traced", cfg.Trace.Enabled)
+	s.log.Info("job accepted", "job_id", j.id, "benchmarks", benchmarks,
+		"traced", cfg.Trace.Enabled, "fidelity", fidelity.Tier(fid).String())
 	writeJSON(w, http.StatusAccepted, j.snapshotView(false))
 }
 
@@ -896,6 +1019,33 @@ func (s *Server) lookup(id string) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.jobs[id]
+}
+
+// jobsView is the GET /v1/jobs body: every tracked job in submission
+// order, without embedded results (poll GET /v1/jobs/{id} for those). Each
+// entry carries the job's fidelity tier, and for done jobs the headline
+// total IPC — with its 95% confidence half-width when the job ran sampled.
+type jobsView struct {
+	Jobs []jobView `json:"jobs"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	idOrder(ids)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := jobsView{Jobs: make([]jobView, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.snapshotView(false))
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -962,6 +1112,11 @@ func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
+		return
+	}
+	if j.fidelity != "" {
+		writeError(w, http.StatusConflict, codeConflict,
+			"%s jobs cannot be paused; only cycle-accurate simulations checkpoint", j.fidelity)
 		return
 	}
 	switch state := j.currentState(); state {

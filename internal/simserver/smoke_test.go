@@ -1,0 +1,58 @@
+package simserver
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAnalyticJobSmoke drives an analytic-tier job end to end through the
+// real server defaults — no fake RunFunc — and is fast enough for -short:
+// the only cycle-accurate work is the calibration probe (~200k
+// instructions), after which the queue model answers from closed forms.
+// It pins the fast lane's user-visible contract: the job finishes in well
+// under a second, carries the tier in its key and fidelity fields, and
+// returns an Estimate instead of per-cycle counters.
+func TestAnalyticJobSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	start := time.Now()
+	code, v, _ := postJob(t, ts, `{"preset": "fbd-ap", "benchmarks": ["swim"], "max_insts": 500000, "warmup_insts": 50000, "fidelity": "analytic"}`)
+	if code != 202 && code != 200 {
+		t.Fatalf("submit status %d", code)
+	}
+	v = waitState(t, ts, v.ID, StateDone)
+	wall := time.Since(start)
+
+	// "Sub-second result" is the tier's reason to exist; 3s leaves slack
+	// for a loaded CI runner while still refusing a cycle-accurate run of
+	// this budget, which takes an order of magnitude longer.
+	if wall > 3*time.Second {
+		t.Errorf("analytic job took %v, want sub-second-class turnaround", wall)
+	}
+	if v.Fidelity != "analytic" {
+		t.Errorf("fidelity = %q, want %q", v.Fidelity, "analytic")
+	}
+	if !strings.HasPrefix(v.Key, "analytic:") {
+		t.Errorf("key = %q, want analytic: prefix", v.Key)
+	}
+	if v.TotalIPC <= 0 {
+		t.Errorf("total_ipc = %v, want > 0", v.TotalIPC)
+	}
+	if v.Results == nil || v.Results.Estimate == nil {
+		t.Fatalf("done analytic job missing results.estimate: %+v", v.Results)
+	}
+	if got := v.Results.Estimate.Tier; got != "analytic" {
+		t.Errorf("estimate tier = %q, want %q", got, "analytic")
+	}
+	if v.Results.Estimate.TotalIPC != v.TotalIPC {
+		t.Errorf("estimate ipc %v != job total_ipc %v", v.Results.Estimate.TotalIPC, v.TotalIPC)
+	}
+
+	// The same submission again must be a cache hit under the tier-tagged
+	// key — triage queries are cheap to repeat by construction.
+	code2, v2, _ := postJob(t, ts, `{"preset": "fbd-ap", "benchmarks": ["swim"], "max_insts": 500000, "warmup_insts": 50000, "fidelity": "analytic"}`)
+	if code2 != 200 || !v2.Cached {
+		t.Errorf("resubmit: status %d cached=%v, want 200 cached=true", code2, v2.Cached)
+	}
+}

@@ -34,6 +34,10 @@ type sweepConfigDim struct {
 	Name   string          `json:"name"`
 	Preset string          `json:"preset"`
 	Config json.RawMessage `json:"config"`
+	// Fidelity overrides the sweep-level tier for this config's points
+	// ("" inherits): triage the grid analytically, refine one config
+	// cycle-accurately, in a single submission.
+	Fidelity string `json:"fidelity"`
 }
 
 // sweepWorkloadDim is one workload-dimension entry: a benchmark list run
@@ -59,6 +63,10 @@ type sweepRequest struct {
 	// Parallel bounds concurrently simulating points, clamped to the
 	// server's SweepParallel cap (0 takes the cap).
 	Parallel int `json:"parallel"`
+	// Fidelity selects every point's simulation tier: "cycle-accurate"
+	// (or "", the default), "sampled" or "analytic". Per-config
+	// fidelity overrides it point-wise.
+	Fidelity string `json:"fidelity"`
 }
 
 // sweepView is the JSON rendering of a sweep.
@@ -173,6 +181,7 @@ func (s *Server) buildSweepSpec(req *sweepRequest) (sweep.Spec, error) {
 		MaxInsts:    req.MaxInsts,
 		WarmupInsts: -1, // keep each config's own warmup by default
 		Parallel:    req.Parallel,
+		Fidelity:    req.Fidelity,
 	}
 	if spec.Name == "" {
 		spec.Name = "sweep"
@@ -194,7 +203,7 @@ func (s *Server) buildSweepSpec(req *sweepRequest) (sweep.Spec, error) {
 				name = "fbd"
 			}
 		}
-		spec.Configs = append(spec.Configs, sweep.NamedConfig{Name: name, Config: cfg})
+		spec.Configs = append(spec.Configs, sweep.NamedConfig{Name: name, Config: cfg, Fidelity: dim.Fidelity})
 	}
 	for _, dim := range req.Workloads {
 		if err := validBenchmarks(dim.Benchmarks); err != nil {
@@ -257,7 +266,11 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		s.submitClusterSweep(w, spec)
 		return
 	}
-	eng, err := sweep.New(spec, sweep.Options{Run: sweep.RunFunc(s.opts.Run), Cache: s.cache})
+	eng, err := sweep.New(spec, sweep.Options{
+		Run:     sweep.RunFunc(s.opts.Run),
+		RunTier: sweep.TierRunFunc(s.opts.RunTier),
+		Cache:   s.cache,
+	})
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return

@@ -178,6 +178,26 @@ func (h *Histogram) Clone() *Histogram {
 	return &c
 }
 
+// Merge folds other's observations into h (nil or empty other is a no-op).
+// The sampling tier uses it to combine per-window latency distributions
+// into one estimate.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.n += other.n
+	h.sum += other.sum
+}
+
 // BucketCount is one cumulative histogram bucket: Cumulative observations
 // with value < Upper (bucket bounds are half-open [low, high)).
 type BucketCount struct {

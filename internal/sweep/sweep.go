@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"fbdsim/internal/config"
+	"fbdsim/internal/fidelity"
 	"fbdsim/internal/system"
 	"fbdsim/internal/workload"
 )
@@ -43,6 +44,10 @@ type RunFunc func(ctx context.Context, cfg config.Config, benchmarks []string) (
 type NamedConfig struct {
 	Name   string        `json:"name"`
 	Config config.Config `json:"config"`
+	// Fidelity overrides the spec-level tier for this config's points
+	// ("" inherits; see Spec.Fidelity). A grid can triage most configs
+	// analytically and run the interesting one cycle-accurately.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // Spec declares a sweep grid. The grid is the cross product
@@ -66,6 +71,13 @@ type Spec struct {
 	// WarmupInsts >= 0 overrides every config's warmup budget (0 is a
 	// valid override: no warmup); negative keeps each config's value.
 	WarmupInsts int64 `json:"warmup_insts,omitempty"`
+	// Fidelity selects the simulation tier of every point:
+	// "cycle-accurate" (or "", the backward-compatible default),
+	// "sampled" or "analytic". Per-config Fidelity overrides it
+	// point-wise. The tier is part of the result identity — estimate
+	// points cache and journal under tier-tagged keys, so they never
+	// masquerade as full-detail results.
+	Fidelity string `json:"fidelity,omitempty"`
 	// Parallel bounds concurrently running shards (0 = GOMAXPROCS).
 	Parallel int `json:"parallel,omitempty"`
 	// Journal is the checkpoint file path; empty disables checkpointing.
@@ -117,7 +129,31 @@ func (s Spec) Validate() error {
 		}
 		seenSeed[s] = true
 	}
+	if _, err := fidelity.Parse(s.Fidelity); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	for _, nc := range s.Configs {
+		if _, err := fidelity.Parse(nc.Fidelity); err != nil {
+			return fmt.Errorf("sweep: config %q: %w", nc.Name, err)
+		}
+	}
 	return nil
+}
+
+// pointFidelity resolves the effective tier of one grid point: the
+// config-level override, else the spec level, normalized so that the
+// cycle-accurate default is always the empty string (stable JSON, stable
+// fingerprints).
+func (s Spec) pointFidelity(nc NamedConfig) string {
+	f := nc.Fidelity
+	if f == "" {
+		f = s.Fidelity
+	}
+	t, err := fidelity.Parse(f)
+	if err != nil || t == fidelity.CycleAccurate {
+		return ""
+	}
+	return string(t)
 }
 
 // pointConfig resolves the effective configuration of one grid point: the
@@ -147,8 +183,15 @@ func (s Spec) Fingerprint() string {
 		Seeds       []int64             `json:"seeds"`
 		MaxInsts    int64               `json:"max_insts"`
 		WarmupInsts int64               `json:"warmup_insts"`
+		// omitempty keeps every pre-fidelity journal fingerprint valid:
+		// a cycle-accurate spec hashes exactly as it always did.
+		Fidelity string `json:"fidelity,omitempty"`
 	}
-	b, _ := json.Marshal(identity{s.Configs, s.Workloads, s.Seeds, s.MaxInsts, s.WarmupInsts})
+	fid := ""
+	if t, err := fidelity.Parse(s.Fidelity); err == nil && t != fidelity.CycleAccurate {
+		fid = string(t)
+	}
+	b, _ := json.Marshal(identity{s.Configs, s.Workloads, s.Seeds, s.MaxInsts, s.WarmupInsts, fid})
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
 }
@@ -167,8 +210,11 @@ type Point struct {
 	Workload string `json:"workload"`
 	Seed     int64  `json:"seed"`
 	// Key is the canonical result-cache key of the point's resolved
-	// configuration (see Key).
+	// configuration (see Key); tier-tagged for estimate points.
 	Key string `json:"key"`
+	// Fidelity is the tier the point ran at ("" = cycle-accurate, the
+	// only value pre-fidelity journals contain).
+	Fidelity string `json:"fidelity,omitempty"`
 	// Results holds the simulation output (zero when Err is set).
 	// Sweep results never carry a memtrace summary: Results.Trace is
 	// stripped during canonicalization.
@@ -194,6 +240,7 @@ type PointDef struct {
 	Cfg        config.Config `json:"cfg"`
 	Benchmarks []string      `json:"benchmarks"`
 	Key        string        `json:"key"`
+	Fidelity   string        `json:"fidelity,omitempty"`
 }
 
 // Points enumerates the grid in deterministic order (config-major, then
@@ -210,6 +257,7 @@ func (s Spec) Points() []PointDef {
 			for _, seed := range seeds {
 				cfg := s.pointConfig(nc, seed)
 				cfg.CPU.Cores = len(w.Benchmarks)
+				fid := s.pointFidelity(nc)
 				defs = append(defs, PointDef{
 					Index:      len(defs),
 					Config:     nc.Name,
@@ -217,7 +265,8 @@ func (s Spec) Points() []PointDef {
 					Seed:       cfg.Seed,
 					Cfg:        cfg,
 					Benchmarks: w.Benchmarks,
-					Key:        Key(cfg, w.Benchmarks),
+					Key:        fidelity.Key(fidelity.Tier(fid), cfg, w.Benchmarks),
+					Fidelity:   fid,
 				})
 			}
 		}
@@ -243,11 +292,19 @@ type Progress struct {
 	Warmups int `json:"warmups"`
 }
 
+// TierRunFunc executes one estimate-tier simulation (tier is "sampled" or
+// "analytic"). The default is fidelity.Run.
+type TierRunFunc func(ctx context.Context, tier string, cfg config.Config, benchmarks []string) (system.Results, error)
+
 // Options carries the execution dependencies a Spec deliberately excludes.
 type Options struct {
 	// Run overrides the simulation function (default: the real
 	// simulator, system.RunWorkloadContext).
 	Run RunFunc
+	// RunTier overrides the executor of sampled/analytic points
+	// (default: fidelity.Run). Cycle-accurate points always go through
+	// Run.
+	RunTier TierRunFunc
 	// Cache is a shared single-flight result cache; nil builds a
 	// private unbounded one. Sharing the serving cache lets sweep
 	// points and job submissions deduplicate against each other.
@@ -257,10 +314,11 @@ type Options struct {
 // Engine executes one sweep spec. Build with New, start with Start, watch
 // with Progress.
 type Engine struct {
-	spec  Spec
-	run   RunFunc
-	cache *Cache
-	defs  []PointDef
+	spec    Spec
+	run     RunFunc
+	runTier TierRunFunc
+	cache   *Cache
+	defs    []PointDef
 
 	completed atomic.Int64
 	failed    atomic.Int64
@@ -283,6 +341,12 @@ func New(spec Spec, opts Options) (*Engine, error) {
 	if run == nil {
 		run = system.RunWorkloadContext
 	}
+	runTier := opts.RunTier
+	if runTier == nil {
+		runTier = func(ctx context.Context, tier string, cfg config.Config, benchmarks []string) (system.Results, error) {
+			return fidelity.Run(ctx, fidelity.Tier(tier), cfg, benchmarks)
+		}
+	}
 	cache := opts.Cache
 	if cache == nil {
 		cache = NewCache(0)
@@ -290,6 +354,7 @@ func New(spec Spec, opts Options) (*Engine, error) {
 	return &Engine{
 		spec:       spec,
 		run:        run,
+		runTier:    runTier,
 		cache:      cache,
 		defs:       spec.Points(),
 		warmGroups: make(map[string]*warmupGroup),
@@ -415,6 +480,7 @@ func (e *Engine) runPoint(ctx context.Context, def PointDef, j *Journal, out cha
 		Workload: def.Workload,
 		Seed:     def.Seed,
 		Key:      def.Key,
+		Fidelity: def.Fidelity,
 	}
 	switch {
 	case err == nil:

@@ -73,6 +73,12 @@ func (e *Engine) warmupGroupFor(def PointDef) (g *warmupGroup, leader bool) {
 // advisory: a RunFunc that ignores the checkpoint/restore specs (fakes,
 // instrumented wrappers) degrades to plain runs with no correctness impact.
 func (e *Engine) runShard(ctx context.Context, def PointDef) (system.Results, error) {
+	// Estimate tiers manage their own warmup (sampled: functional
+	// warming; analytic: a memoized probe) and bypass the
+	// warmup-sharing machinery entirely.
+	if def.Fidelity != "" {
+		return e.runTier(ctx, def.Fidelity, def.Cfg, def.Benchmarks)
+	}
 	g, leader := e.warmupGroupFor(def)
 	switch {
 	case g == nil:

@@ -273,6 +273,7 @@ func (s *System) RestoreSnapshot(data []byte, fingerprint string) error {
 	// tmp.ctrl), so swapping the roots is a complete state transplant.
 	s.ctrl, s.hier, s.cores = tmp.ctrl, tmp.hier, tmp.cores
 	s.resumeCycle, s.resumeWarm = cycle, warm
+	s.lastCycle = cycle
 	return nil
 }
 

@@ -77,6 +77,37 @@ type Results struct {
 	// time-series, retained per-request events); nil unless
 	// Config.Trace.Enabled was set.
 	Trace *memtrace.Summary
+
+	// Estimate describes how these Results were produced when a reduced-
+	// fidelity tier (sampled or analytic) generated them: the tier name,
+	// the headline-IPC confidence interval, and the tier's cost accounting.
+	// Nil for cycle-accurate runs, so cycle-accurate JSON output is
+	// unchanged.
+	Estimate *EstimateInfo `json:",omitempty"`
+}
+
+// EstimateInfo annotates Results produced by a reduced-fidelity tier.
+type EstimateInfo struct {
+	// Tier is "sampled" or "analytic".
+	Tier string
+	// TotalIPC is the headline estimate (sum of per-core IPC).
+	TotalIPC float64
+	// CI95 is the half-width of the 95% confidence interval on TotalIPC
+	// (batch-means over measured windows for the sampled tier; 0 when the
+	// tier provides no variance estimate).
+	CI95 float64 `json:",omitempty"`
+	// Windows / DetailedInsts / FunctionalInsts account for the sampled
+	// tier's cost: measured windows, per-core instructions simulated in
+	// detail, and per-core instructions executed functionally.
+	Windows         int   `json:",omitempty"`
+	DetailedInsts   int64 `json:",omitempty"`
+	FunctionalInsts int64 `json:",omitempty"`
+	// PerWindowIPC is the sampled tier's batch-means input (total IPC per
+	// measured window).
+	PerWindowIPC []float64 `json:",omitempty"`
+	// Calibration names the probe run an analytic estimate was calibrated
+	// from (the probe's config/workload fingerprint prefix).
+	Calibration string `json:",omitempty"`
 }
 
 // L2MissRate returns L2 misses per access.
@@ -141,6 +172,11 @@ type System struct {
 	// the checkpoint predates warmup).
 	resumeCycle int64
 	resumeWarm  *warmSnapshot
+
+	// lastCycle is the boundary cycle at which the last completed run
+	// returned its Results — the resume point for windowed stepping
+	// (StepWindow).
+	lastCycle int64
 }
 
 // New builds a system running one benchmark per core. The Config's
@@ -474,7 +510,9 @@ func (s *System) progressBound() int64 {
 		cyc = 500
 	}
 	budget := s.cfg.WarmupInsts + s.cfg.MaxInsts
-	return budget*cyc + 1_000_000
+	// Relative to the resume point: a restored or windowed run only has
+	// its own budget left, not the cycles already executed before it.
+	return s.resumeCycle + budget*cyc + 1_000_000
 }
 
 // wedgedError reports a tripped progress guard, naming the component that
@@ -615,6 +653,7 @@ func (s *System) results(w *warmSnapshot, cycle int64) Results {
 	r.HWPrefetches = end.hwPrefetch - w.hwPrefetch
 	r.Writebacks = end.writebacks - w.writebacks
 	r.Trace = s.ctrl.TraceSummary(clock.Time(cycle) * clock.CPUCycle)
+	s.lastCycle = cycle
 	return r
 }
 
