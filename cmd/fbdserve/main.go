@@ -35,6 +35,19 @@
 //	fbdserve -addr :8091 -join http://coord:8090 -journal-dir /var/lib/w1
 //	curl localhost:8090/v1/cluster                   # membership + counters
 //
+// Multi-tenant mode: a -tenants keyfile (one
+// "<name> <key> [weight=N] [rate=R] [burst=B] [max_active=M]" per line)
+// puts every /v1 endpoint behind per-tenant bearer keys with token-bucket
+// rate limits, concurrency quotas, and weighted fair-share scheduling
+// across tenants (DESIGN.md §15). Cluster endpoints then authenticate
+// with the shared -cluster-key secret instead of tenant keys. The full
+// HTTP contract lives in api/openapi.yaml; pkg/fbdclient is the typed Go
+// client.
+//
+//	fbdserve -addr :8077 -tenants tenants.keyfile
+//	fbdserve -addr :8090 -tenants tenants.keyfile -coordinator -cluster-key s3cret
+//	curl -H 'Authorization: Bearer key-acme' localhost:8077/v1/jobs
+//
 // Logging is structured (log/slog): -log-format picks text or json,
 // -log-level the threshold. Every request logs one line with a request ID
 // (honoring an incoming X-Request-ID) plus job/sweep correlation.
@@ -80,6 +93,9 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 
+		tenantsFile = flag.String("tenants", "", "tenant keyfile enabling multi-tenant mode: one \"<name> <key> [weight=N] [rate=R] [burst=B] [max_active=M]\" per line")
+		clusterKey  = flag.String("cluster-key", "", "shared secret authenticating /v1/cluster machine endpoints in multi-tenant mode")
+
 		coordFlag  = flag.Bool("coordinator", false, "run as a cluster coordinator: shard sweeps across joined workers")
 		joinURL    = flag.String("join", "", "join this coordinator URL as a sweep worker")
 		advertise  = flag.String("advertise", "", "base URL the coordinator should dispatch leases to (default: derived from -addr)")
@@ -100,6 +116,18 @@ func main() {
 		fatalf("-coordinator and -join are mutually exclusive: a process is either the coordinator or a worker")
 	}
 
+	var tenants *simserver.TenantSet
+	if *tenantsFile != "" {
+		var err error
+		if tenants, err = simserver.LoadTenants(*tenantsFile); err != nil {
+			fatalf("-tenants: %v", err)
+		}
+		if *clusterKey == "" && (*coordFlag || *joinURL != "") {
+			fatalf("multi-tenant cluster nodes need -cluster-key: tenant keys must not authenticate machine endpoints")
+		}
+		logger.Info("multi-tenant mode", "tenants", len(tenants.Names()), "keyfile", *tenantsFile)
+	}
+
 	role := "standalone"
 	var coord *cluster.Coordinator
 	switch {
@@ -109,6 +137,7 @@ func main() {
 			LeaseTTL:       *leaseTTL,
 			HeartbeatEvery: *heartbeat,
 			BatchPoints:    *leasePts,
+			Executor:       &cluster.HTTPExecutor{ClusterKey: *clusterKey},
 			Logger:         logger,
 		})
 	case *joinURL != "":
@@ -129,6 +158,8 @@ func main() {
 		Coordinator:    coord,
 		Role:           role,
 		JournalDir:     *journalDir,
+		Tenants:        tenants,
+		ClusterKey:     *clusterKey,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: simserver.AccessLog(logger, sim.Handler())}
 
@@ -140,6 +171,7 @@ func main() {
 			ID:          workerID(),
 			URL:         advertiseURL(*advertise, *addr),
 			Coordinator: *joinURL,
+			ClusterKey:  *clusterKey,
 			Logger:      logger,
 		}
 		logger.Info("cluster: worker mode", "id", agent.ID, "advertise", agent.URL, "coordinator", agent.Coordinator)

@@ -35,79 +35,33 @@
 package cluster
 
 import (
-	"time"
-
-	"fbdsim/internal/sweep"
+	"fbdsim/pkg/fbdclient"
 )
 
+// The wire types of the cluster protocol are defined once, in
+// pkg/fbdclient, so the coordinator, the worker agent and external tools
+// compile against a single contract. The aliases below keep this
+// package's vocabulary (cluster.Lease, cluster.WorkerInfo, ...) intact.
+
 // Lease is one batch of grid points assigned to one worker: the
-// coordinator→worker wire format of POST /v1/cluster/execute. Sweep and
-// Fingerprint identify the sweep spec (naming the worker's local journal
-// and guarding it against cross-sweep mixing); Points carry everything
-// needed to run each shard without the spec.
-type Lease struct {
-	ID          string           `json:"id"`
-	Sweep       string           `json:"sweep"`
-	Fingerprint string           `json:"fingerprint"`
-	Points      []sweep.PointDef `json:"points"`
-}
+// coordinator→worker wire format of POST /v1/cluster/execute.
+type Lease = fbdclient.Lease
 
 // JoinRequest registers a worker with the coordinator
-// (POST /v1/cluster/join). URL is the worker's advertised base URL, where
-// the coordinator dispatches leases.
-type JoinRequest struct {
-	ID  string `json:"id"`
-	URL string `json:"url"`
-}
+// (POST /v1/cluster/join).
+type JoinRequest = fbdclient.JoinRequest
 
 // JoinResponse tells the joining worker the coordinator's expectations.
-type JoinResponse struct {
-	// HeartbeatMS is the interval the worker must beat at; missing a few
-	// marks it dead and re-queues its leases.
-	HeartbeatMS int64 `json:"heartbeat_ms"`
-	// LeaseTTLMS is the no-progress deadline applied to its leases
-	// (informational).
-	LeaseTTLMS int64 `json:"lease_ttl_ms"`
-}
+type JoinResponse = fbdclient.JoinResponse
 
 // HeartbeatRequest is the worker liveness beacon
-// (POST /v1/cluster/heartbeat). A coordinator that does not recognize ID
-// answers 404 and the worker re-joins — the recovery path after a
-// coordinator restart.
-type HeartbeatRequest struct {
-	ID string `json:"id"`
-}
+// (POST /v1/cluster/heartbeat).
+type HeartbeatRequest = fbdclient.HeartbeatRequest
 
 // WorkerInfo is one worker's row in the coordinator's membership view
 // (GET /v1/cluster and the dashboard panel).
-type WorkerInfo struct {
-	ID            string    `json:"id"`
-	URL           string    `json:"url"`
-	Joined        time.Time `json:"joined"`
-	LastHeartbeat time.Time `json:"last_heartbeat"`
-	// Live reports whether the worker is currently eligible for leases:
-	// heartbeating within the timeout and with no dispatch failure newer
-	// than its last heartbeat.
-	Live bool `json:"live"`
-	// ActiveLeases counts leases currently dispatched to the worker;
-	// PendingPoints the points in them not yet committed; PointsDone the
-	// worker's lifetime committed points.
-	ActiveLeases  int   `json:"active_leases"`
-	PendingPoints int   `json:"pending_points"`
-	PointsDone    int64 `json:"points_done"`
-}
+type WorkerInfo = fbdclient.WorkerInfo
 
 // Counters is the coordinator's failure-visibility surface, exported as
-// cluster_* metrics. LeasesExpired counts every lease that ended without
-// delivering all its points — deadline expiry, worker death and
-// connection loss alike — because each of those is the same event from
-// the sweep's perspective: a broken lease whose remainder re-queued.
-type Counters struct {
-	WorkersJoined    int64 `json:"workers_joined"`
-	WorkersLost      int64 `json:"workers_lost"`
-	LeasesGranted    int64 `json:"leases_granted"`
-	LeasesExpired    int64 `json:"leases_expired"`
-	PointsRequeued   int64 `json:"points_requeued"`
-	PointsDuplicate  int64 `json:"points_duplicate"`
-	LeasesSpeculated int64 `json:"leases_speculated"`
-}
+// cluster_* metrics.
+type Counters = fbdclient.Counters

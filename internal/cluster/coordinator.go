@@ -362,6 +362,14 @@ type Run struct {
 	defs    []sweep.PointDef
 	started atomic.Bool
 
+	// Tenant is the submitting principal's name, stamped onto every lease
+	// minted for this run so workers attribute the points to the right
+	// tenant. Set (before Execute) by the serving layer in multi-tenant
+	// mode; empty otherwise. Deliberately not part of sweep.Spec — the
+	// spec's fingerprint identifies the simulation work, which is
+	// tenant-neutral, and journals must stay replayable across tenants.
+	Tenant string
+
 	mu          sync.Mutex
 	pending     []sweep.PointDef
 	banned      map[int]map[string]bool // point index → workers that broke a lease on it
@@ -579,7 +587,7 @@ func (r *Run) issueLocked(ctx context.Context, w WorkerInfo, pts []sweep.PointDe
 	lctx, cancel := context.WithCancel(ctx)
 	now := time.Now()
 	ls := &leaseState{
-		lease:        Lease{ID: id, Sweep: r.spec.Name, Fingerprint: r.fp, Points: slices.Clone(pts)},
+		lease:        Lease{ID: id, Sweep: r.spec.Name, Fingerprint: r.fp, Tenant: r.Tenant, Points: slices.Clone(pts)},
 		worker:       w.ID,
 		info:         w,
 		issued:       now,

@@ -1,89 +1,48 @@
 package cluster
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
-	"fmt"
-	"io"
 	"log/slog"
 	"net/http"
-	"strings"
 	"time"
 
 	"fbdsim/internal/retry"
 	"fbdsim/internal/sweep"
+	"fbdsim/pkg/fbdclient"
 )
 
-// sharedClient carries lease streams and heartbeats. No client timeout:
-// a lease stream legitimately runs for minutes, and cancellation arrives
-// through the request context.
-var sharedClient = &http.Client{}
+// All coordinator↔worker HTTP in this package goes through the typed
+// client in pkg/fbdclient: lease dispatch (HTTPExecutor) and the worker
+// liveness loop (Agent) are thin orchestration over fbdclient.Client, so
+// the cluster protocol has exactly one wire implementation.
 
 // HTTPExecutor dispatches leases over POST /v1/cluster/execute and
-// decodes the worker's streamed NDJSON points. It is the production
+// commits the worker's streamed NDJSON points. It is the production
 // Executor of Coordinator.
 type HTTPExecutor struct {
-	// Client overrides the HTTP client (nil: a shared default with no
-	// timeout — lease lifetime is governed by the dispatch context).
+	// Client overrides the HTTP client (nil: fbdclient's shared default
+	// with no timeout — lease lifetime is governed by the dispatch
+	// context).
 	Client *http.Client
+	// ClusterKey authenticates lease dispatch to workers running in
+	// multi-tenant mode (the shared cluster secret). Empty against
+	// open-access workers.
+	ClusterKey string
 }
 
 // Execute implements Executor. Points are committed as their lines
 // arrive, so a stream severed mid-lease still commits its delivered
 // prefix; a line without its newline (the worker died mid-record) is an
-// error, never a half-parsed point.
+// error, never a half-parsed point. It never retries: lease re-issue is
+// the coordinator's failure model.
 func (e *HTTPExecutor) Execute(ctx context.Context, w WorkerInfo, lease Lease, commit func(sweep.Point)) error {
-	body, err := json.Marshal(lease)
-	if err != nil {
-		return fmt.Errorf("cluster: encode lease: %w", err)
+	api := &fbdclient.Client{
+		BaseURL:    w.URL,
+		APIKey:     e.ClusterKey,
+		HTTPClient: e.Client,
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		strings.TrimSuffix(w.URL, "/")+"/v1/cluster/execute", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("cluster: build lease request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	client := e.Client
-	if client == nil {
-		client = sharedClient
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return fmt.Errorf("cluster: dispatch to %s: %w", w.ID, err)
-	}
-	defer func() {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-		resp.Body.Close()
-	}()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("cluster: worker %s refused lease: %s: %s",
-			w.ID, resp.Status, bytes.TrimSpace(msg))
-	}
-	br := bufio.NewReader(resp.Body)
-	for {
-		line, err := br.ReadBytes('\n')
-		if errors.Is(err, io.EOF) {
-			if len(bytes.TrimSpace(line)) > 0 {
-				return fmt.Errorf("cluster: worker %s stream ended mid-record", w.ID)
-			}
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("cluster: read lease stream from %s: %w", w.ID, err)
-		}
-		if len(bytes.TrimSpace(line)) == 0 {
-			continue
-		}
-		var p sweep.Point
-		if uerr := json.Unmarshal(line, &p); uerr != nil {
-			return fmt.Errorf("cluster: corrupt point from %s: %w", w.ID, uerr)
-		}
-		commit(p)
-	}
+	return api.ExecuteLease(ctx, lease, commit)
 }
 
 // errUnknownWorker signals a heartbeat 404: the coordinator does not
@@ -109,7 +68,10 @@ type Agent struct {
 	URL string
 	// Coordinator is the coordinator's base URL.
 	Coordinator string
-	// Client overrides the HTTP client (nil: shared default).
+	// ClusterKey authenticates join/heartbeat calls to a coordinator
+	// running in multi-tenant mode (the shared cluster secret).
+	ClusterKey string
+	// Client overrides the HTTP client (nil: fbdclient's shared default).
 	Client *http.Client
 	// Logger receives join/heartbeat transitions (nil: discard).
 	Logger *slog.Logger
@@ -119,6 +81,19 @@ type Agent struct {
 	// HeartbeatEvery is the beat interval used until the coordinator
 	// states its own in the join response (default 2s).
 	HeartbeatEvery time.Duration
+}
+
+// api builds the typed client for the coordinator. MaxAttempts is 1:
+// the agent owns its retry loop (join backoff, heartbeat strikes), and
+// stacking the client's retries under it would stretch every failure
+// detection window.
+func (a *Agent) api() *fbdclient.Client {
+	return &fbdclient.Client{
+		BaseURL:     a.Coordinator,
+		APIKey:      a.ClusterKey,
+		HTTPClient:  a.Client,
+		MaxAttempts: 1,
+	}
 }
 
 // Run joins and heartbeats until ctx ends, re-joining whenever the
@@ -159,18 +134,10 @@ func (a *Agent) Run(ctx context.Context) error {
 	}
 }
 
-func (a *Agent) client() *http.Client {
-	if a.Client != nil {
-		return a.Client
-	}
-	return sharedClient
-}
-
 // join registers with the coordinator and returns the heartbeat interval
 // it demands.
 func (a *Agent) join(ctx context.Context) (time.Duration, error) {
-	var jr JoinResponse
-	err := a.post(ctx, "/v1/cluster/join", JoinRequest{ID: a.ID, URL: a.URL}, &jr)
+	jr, err := a.api().Join(ctx, JoinRequest{ID: a.ID, URL: a.URL})
 	if err != nil {
 		return 0, err
 	}
@@ -197,50 +164,18 @@ func (a *Agent) beat(ctx context.Context, interval time.Duration) error {
 			return ctx.Err()
 		case <-t.C:
 		}
-		err := a.post(ctx, "/v1/cluster/heartbeat", HeartbeatRequest{ID: a.ID}, nil)
+		err := a.api().Heartbeat(ctx, a.ID)
+		var apiErr *fbdclient.Error
 		switch {
 		case err == nil:
 			fails = 0
-		case errors.Is(err, errUnknownWorker):
-			return err
+		case errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound:
+			// The coordinator answered but does not know us: re-join now.
+			return errUnknownWorker
 		default:
 			if fails++; fails >= 3 {
 				return err
 			}
 		}
 	}
-}
-
-// post sends one JSON request to the coordinator, decoding a 200 body
-// into out when non-nil. A 404 maps to errUnknownWorker.
-func (a *Agent) post(ctx context.Context, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		strings.TrimSuffix(a.Coordinator, "/")+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := a.client().Do(req)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-		resp.Body.Close()
-	}()
-	switch {
-	case resp.StatusCode == http.StatusNotFound:
-		return errUnknownWorker
-	case resp.StatusCode != http.StatusOK:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
-	}
-	if out != nil {
-		return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out)
-	}
-	return nil
 }

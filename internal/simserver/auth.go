@@ -1,0 +1,129 @@
+package simserver
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// Authentication: when a tenant keyfile is configured (Options.Tenants),
+// every /v1 endpoint requires "Authorization: Bearer <key>"; a job, sweep
+// or telemetry stream is then visible only to the tenant that created it.
+// The /v1/cluster endpoints are machine-to-machine and authenticate with
+// the shared cluster secret (Options.ClusterKey) instead of a tenant key.
+// Infrastructure probes (/healthz, /readyz, /metrics) stay open — they
+// carry capacity data, not tenant data. Without a keyfile the middleware
+// is a passthrough and the server behaves exactly as before (open access,
+// single implicit tenant).
+
+// authKind classifies a route's authentication requirement.
+type authKind int
+
+const (
+	authOpen    authKind = iota // probes and scrape endpoints: never gated
+	authTenant                  // requires a tenant bearer key in multi-tenant mode
+	authCluster                 // requires the shared cluster secret in multi-tenant mode
+)
+
+type tenantCtxKey struct{}
+
+// tenantFrom resolves the authenticated tenant attached to the request by
+// the middleware; nil in open-access mode.
+func (s *Server) tenantFrom(r *http.Request) *Tenant {
+	t, _ := r.Context().Value(tenantCtxKey{}).(*Tenant)
+	return t
+}
+
+// bearerToken extracts the Authorization: Bearer credential, or "".
+func bearerToken(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return h[len(prefix):]
+	}
+	return ""
+}
+
+// withAuth wraps one handler with the route's authentication gate.
+func (s *Server) withAuth(kind authKind, h http.HandlerFunc) http.HandlerFunc {
+	if !s.tenants.Enabled() || kind == authOpen {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		token := bearerToken(r)
+		if token == "" {
+			writeError(w, http.StatusUnauthorized, codeUnauthorized,
+				"missing Authorization: Bearer token (multi-tenant mode)")
+			return
+		}
+		if kind == authCluster {
+			if s.opts.ClusterKey != "" && token == s.opts.ClusterKey {
+				h(w, r)
+				return
+			}
+			if s.tenants.Lookup(token) != nil {
+				writeError(w, http.StatusForbidden, codeForbidden,
+					"cluster endpoints require the cluster key, not a tenant key")
+				return
+			}
+			writeError(w, http.StatusUnauthorized, codeUnauthorized, "unknown cluster key")
+			return
+		}
+		t := s.tenants.Lookup(token)
+		if t == nil {
+			writeError(w, http.StatusUnauthorized, codeUnauthorized, "unknown API key")
+			return
+		}
+		h(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, t)))
+	}
+}
+
+// ownsJob reports whether the request's principal may read the job. Open
+// mode allows everything; in multi-tenant mode a job belongs to exactly
+// the tenant that submitted it.
+func (s *Server) ownsJob(r *http.Request, j *job) bool {
+	if !s.tenants.Enabled() {
+		return true
+	}
+	return s.tenantFrom(r) == j.tenant
+}
+
+// ownsSweep is ownsJob for sweeps.
+func (s *Server) ownsSweep(r *http.Request, sj *sweepJob) bool {
+	if !s.tenants.Enabled() {
+		return true
+	}
+	t := s.tenantFrom(r)
+	return t != nil && t.Name == sj.tenant
+}
+
+// authorizeJob resolves {id} to a job the requester owns, writing the
+// error response itself otherwise. Foreign jobs answer 403 — the id
+// namespace is shared and sequential, so existence is not a secret, but
+// the contents are.
+func (s *Server) authorizeJob(w http.ResponseWriter, r *http.Request) *job {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
+		return nil
+	}
+	if !s.ownsJob(r, j) {
+		writeError(w, http.StatusForbidden, codeForbidden, "job %s belongs to another tenant", j.id)
+		return nil
+	}
+	return j
+}
+
+// authorizeSweep is authorizeJob for sweeps.
+func (s *Server) authorizeSweep(w http.ResponseWriter, r *http.Request) *sweepJob {
+	sj := s.lookupSweep(r.PathValue("id"))
+	if sj == nil {
+		writeError(w, http.StatusNotFound, codeNotFound, "no such sweep")
+		return nil
+	}
+	if !s.ownsSweep(r, sj) {
+		writeError(w, http.StatusForbidden, codeForbidden, "sweep %s belongs to another tenant", sj.id)
+		return nil
+	}
+	return sj
+}

@@ -1,0 +1,265 @@
+package simserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mustTenants parses an inline keyfile or fails the test.
+func mustTenants(t *testing.T, keyfile string) *TenantSet {
+	t.Helper()
+	ts, err := ParseTenants(strings.NewReader(keyfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// authedReq issues one request with a bearer key ("" = no Authorization
+// header) and decodes the body as JSON into out (when non-nil).
+func authedReq(t *testing.T, ts *httptest.Server, method, path, key, body string, out any) (int, http.Header, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if out != nil {
+		_ = json.Unmarshal(raw, out)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+// waitStateAuthed is waitState for multi-tenant servers: job polls carry
+// the tenant's bearer key.
+func waitStateAuthed(t *testing.T, ts *httptest.Server, key, id string, want State) jobView {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var v jobView
+	for time.Now().Before(deadline) {
+		authedReq(t, ts, "GET", "/v1/jobs/"+id, key, "", &v)
+		if v.State == string(want) {
+			return v
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q (last state %q)", id, want, v.State)
+	return v
+}
+
+// TestAuthEnvelopes drives the new auth error paths and asserts the
+// uniform envelope with the documented stable codes: 401 unauthorized,
+// 403 forbidden, 429 rate_limited / quota_exceeded (with Retry-After).
+func TestAuthEnvelopes(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	defer close(release)
+	now := time.Unix(4000, 0)
+	_, ts := newTestServer(t, Options{
+		Workers: 1,
+		Run:     fakeRun(&calls, started, release),
+		Tenants: mustTenants(t,
+			"acme key-acme rate=1 burst=1\nglobex key-globex max_active=1\n"),
+		ClusterKey: "key-cluster",
+		Now:        func() time.Time { return now }, // frozen: buckets never refill
+	})
+
+	// acme's one burst token admits the first job; globex occupies its one
+	// concurrency slot with a job parked on the blocked fake runner.
+	status, _, raw := authedReq(t, ts, "POST", "/v1/jobs", "key-acme",
+		`{"benchmarks": ["swim"], "seed": 1, "fidelity": "analytic"}`, nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("acme submit: %d (%s)", status, raw)
+	}
+	var globexJob jobView
+	status, _, raw = authedReq(t, ts, "POST", "/v1/jobs", "key-globex",
+		`{"benchmarks": ["swim"], "seed": 2}`, &globexJob)
+	if status != http.StatusAccepted {
+		t.Fatalf("globex submit: %d (%s)", status, raw)
+	}
+	<-started
+
+	cases := []struct {
+		name, method, path, key, body string
+		wantStatus                    int
+		wantCode                      string
+		wantRetryAfter                bool
+	}{
+		{"no token", "GET", "/v1/jobs", "", "", 401, codeUnauthorized, false},
+		{"unknown key", "GET", "/v1/jobs", "key-wrong", "", 401, codeUnauthorized, false},
+		{"tenant key on cluster endpoint", "GET", "/v1/cluster", "key-acme", "", 403, codeForbidden, false},
+		{"unknown cluster key", "GET", "/v1/cluster", "key-wrong", "", 401, codeUnauthorized, false},
+		{"foreign job read", "GET", "/v1/jobs/" + globexJob.ID, "key-acme", "", 403, codeForbidden, false},
+		{"foreign job cancel", "DELETE", "/v1/jobs/" + globexJob.ID, "key-acme", "", 403, codeForbidden, false},
+		{"foreign job events", "GET", "/v1/jobs/" + globexJob.ID + "/events", "key-acme", "", 403, codeForbidden, false},
+		{"foreign job stats", "GET", "/v1/jobs/" + globexJob.ID + "/stats", "key-acme", "", 403, codeForbidden, false},
+		{"rate limited", "POST", "/v1/jobs", "key-acme",
+			`{"benchmarks": ["swim"], "seed": 3}`, 429, codeRateLimited, true},
+		{"quota exceeded", "POST", "/v1/jobs", "key-globex",
+			`{"benchmarks": ["swim"], "seed": 4}`, 429, codeQuotaExceeded, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var ev errorView
+			status, hdr, raw := authedReq(t, ts, c.method, c.path, c.key, c.body, &ev)
+			if status != c.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", status, c.wantStatus, raw)
+			}
+			if ev.Error.Code != c.wantCode {
+				t.Errorf("code = %q, want %q (body %s)", ev.Error.Code, c.wantCode, raw)
+			}
+			if ev.Error.Message == "" {
+				t.Errorf("empty error message (body %s)", raw)
+			}
+			if c.wantRetryAfter {
+				secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+				if err != nil || secs < 1 {
+					t.Errorf("Retry-After = %q, want integer >= 1", hdr.Get("Retry-After"))
+				}
+			}
+		})
+	}
+
+	// Probes stay open without credentials even in multi-tenant mode.
+	for _, path := range []string{"/healthz", "/readyz", "/metrics", "/v1/version"} {
+		if status, _, raw := authedReq(t, ts, "GET", path, "", "", nil); status != http.StatusOK {
+			t.Errorf("%s without key: %d (%s)", path, status, raw)
+		}
+	}
+}
+
+// TestTenantIsolation: listings are tenant-scoped, views carry the tenant
+// and scheduler class, quota units release on terminal transitions, and
+// /readyz exposes per-tenant admission state.
+func TestTenantIsolation(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	defer close(release)
+	_, ts := newTestServer(t, Options{
+		Workers: 1,
+		Run:     fakeRun(&calls, started, release),
+		Tenants: mustTenants(t, "acme key-acme weight=3\nglobex key-globex max_active=1\n"),
+	})
+
+	var acmeJob, globexJob jobView
+	if status, _, raw := authedReq(t, ts, "POST", "/v1/jobs", "key-acme",
+		`{"benchmarks": ["swim"], "seed": 1}`, &acmeJob); status != http.StatusAccepted {
+		t.Fatalf("acme submit: %d (%s)", status, raw)
+	}
+	<-started
+	if acmeJob.Tenant != "acme" {
+		t.Errorf("acme job view tenant = %q, want acme", acmeJob.Tenant)
+	}
+	if acmeJob.Class != "cycle-accurate" {
+		t.Errorf("acme job class = %q, want cycle-accurate", acmeJob.Class)
+	}
+	if status, _, raw := authedReq(t, ts, "POST", "/v1/jobs", "key-globex",
+		`{"benchmarks": ["swim"], "seed": 2}`, &globexJob); status != http.StatusAccepted {
+		t.Fatalf("globex submit: %d (%s)", status, raw)
+	}
+
+	// Each tenant's listing shows only its own jobs.
+	var listing struct {
+		Jobs []jobView `json:"jobs"`
+	}
+	if status, _, raw := authedReq(t, ts, "GET", "/v1/jobs", "key-acme", "", &listing); status != http.StatusOK {
+		t.Fatalf("acme list: %d (%s)", status, raw)
+	}
+	if len(listing.Jobs) != 1 || listing.Jobs[0].ID != acmeJob.ID {
+		t.Errorf("acme listing = %+v, want exactly its own job", listing.Jobs)
+	}
+
+	// globex's quota slot is held by its queued job: a second submission
+	// bounces, and cancelling the first frees the slot.
+	if status, _, _ := authedReq(t, ts, "POST", "/v1/jobs", "key-globex",
+		`{"benchmarks": ["swim"], "seed": 5}`, nil); status != http.StatusTooManyRequests {
+		t.Fatalf("globex over-quota submit: %d, want 429", status)
+	}
+	if status, _, raw := authedReq(t, ts, "DELETE", "/v1/jobs/"+globexJob.ID, "key-globex", "", nil); status != http.StatusOK {
+		t.Fatalf("globex cancel: %d (%s)", status, raw)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, _, _ := authedReq(t, ts, "POST", "/v1/jobs", "key-globex",
+			`{"benchmarks": ["swim"], "seed": 6}`, nil)
+		if status == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("quota never released after cancel (last status %d)", status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// /readyz reports per-tenant admission state with the keyfile's bounded
+	// tenant set.
+	var ready readyView
+	if status, _, raw := authedReq(t, ts, "GET", "/readyz", "", "", &ready); status != http.StatusOK {
+		t.Fatalf("/readyz: %d (%s)", status, raw)
+	}
+	if len(ready.Tenants) != 2 {
+		t.Fatalf("readyz tenants = %+v, want acme and globex", ready.Tenants)
+	}
+	if q := ready.Tenants["acme"]; q.Weight != 3 {
+		t.Errorf("acme readyz weight = %d, want 3", q.Weight)
+	}
+	if q := ready.Tenants["globex"]; q.MaxActive != 1 {
+		t.Errorf("globex readyz max_active = %d, want 1", q.MaxActive)
+	}
+
+	// Per-tenant metrics appear with bounded tenant labels.
+	_, _, metricsRaw := authedReq(t, ts, "GET", "/metrics?format=prom", "", "", nil)
+	for _, want := range []string{
+		`tenant_active{tenant="acme"}`,
+		`tenant_queued{tenant="globex"}`,
+		`tenant_accepted{tenant="acme"}`,
+	} {
+		if !strings.Contains(string(metricsRaw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestOpenModeUnchanged: without a keyfile the server ignores Authorization
+// entirely — the pre-multi-tenant contract.
+func TestOpenModeUnchanged(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	close(release)
+	_, ts := newTestServer(t, Options{Workers: 1, Run: fakeRun(&calls, nil, release)})
+
+	var v jobView
+	if status, _, raw := authedReq(t, ts, "POST", "/v1/jobs", "",
+		`{"benchmarks": ["swim"], "seed": 1}`, &v); status != http.StatusAccepted {
+		t.Fatalf("open submit: %d (%s)", status, raw)
+	}
+	if v.Tenant != "" {
+		t.Errorf("open-mode job has tenant %q, want empty", v.Tenant)
+	}
+	// A stray bearer token is harmless in open mode.
+	if status, _, _ := authedReq(t, ts, "GET", "/v1/jobs/"+v.ID, "key-anything", "", nil); status != http.StatusOK {
+		t.Errorf("open mode rejected a request carrying a token: %d", status)
+	}
+}

@@ -264,7 +264,19 @@ func (s *Server) handleClusterExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.LeasesExecuted.Inc()
-	s.log.Info("lease accepted", "lease", lease.ID, "sweep", lease.Sweep, "points", len(lease.Points))
+	s.log.Info("lease accepted", "lease", lease.ID, "sweep", lease.Sweep,
+		"points", len(lease.Points), "tenant", lease.Tenant)
+
+	// The lease carries the owning tenant's name from the coordinator;
+	// resolve it against this worker's keyfile (when one is configured) so
+	// lease execution is scheduled and accounted under the right flow.
+	// Unknown names fall back to the default flow — the work still runs at
+	// batch priority.
+	tenant := s.tenants.ByName(lease.Tenant)
+	tenantFlow := lease.Tenant
+	if tenant != nil {
+		tenantFlow = tenant.Name
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -297,6 +309,11 @@ func (s *Server) handleClusterExecute(w http.ResponseWriter, r *http.Request) {
 		go func(def sweep.PointDef) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// Lease points borrow worker slots at batch priority under the
+			// lease's tenant flow, exactly like local sweep points: leased
+			// bulk work cannot crowd out this node's interactive jobs.
+			release := s.acquireSlotFlow(s.baseCtx, tenantFlow, tenant.weight(), classBatch)
+			defer release()
 			p := s.runLeasePoint(s.baseCtx, def)
 			if p == nil {
 				return // shutdown cancelled the run: emit nothing, journal nothing

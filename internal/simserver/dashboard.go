@@ -75,10 +75,32 @@ func (s *Server) dashboardText() string {
 	workers := s.opts.Workers
 	occ := s.occ.observe(float64(busy) / float64(workers))
 
+	_, slow := s.sched.depths()
 	fmt.Fprintf(&sb, "fbdserve %s — up %s\n", version, uptime)
 	fmt.Fprintf(&sb, "workers %d/%d %s   queue %d/%d   cache %d   sweeps active %d\n\n",
 		busy, workers, textplot.Spark(occ, 32),
-		len(s.queue), cap(s.queue), s.cache.Len(), s.activeSweeps())
+		slow, s.opts.QueueDepth, s.cache.Len(), s.activeSweeps())
+
+	// Multi-tenant mode: one row per keyfile tenant — quota occupancy,
+	// queued work across every scheduler class, and the fair-share weight.
+	if s.tenants.Enabled() {
+		sb.WriteString("tenants\n")
+		for _, name := range s.tenants.Names() {
+			t := s.tenants.ByName(name)
+			active, queued := t.activeCount(), s.sched.queuedFor(name)
+			line := fmt.Sprintf("  %-16s weight=%d active=%d", name, t.weight(), active)
+			if t.MaxActive > 0 {
+				frac := float64(active) / float64(t.MaxActive)
+				line += fmt.Sprintf("/%d %s", t.MaxActive, progressBar(frac, 10))
+			}
+			line += fmt.Sprintf("  queued=%d", queued)
+			if t.Rate > 0 {
+				line += fmt.Sprintf("  rate=%g/s", t.Rate)
+			}
+			sb.WriteString(line + "\n")
+		}
+		sb.WriteString("\n")
+	}
 
 	// Coordinator role: the cluster membership and failure-counter panel.
 	if co := s.opts.Coordinator; co != nil {

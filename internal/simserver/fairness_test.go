@@ -1,0 +1,157 @@
+package simserver
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fbdsim/internal/config"
+	"fbdsim/internal/system"
+)
+
+// TestFairnessUnderFlood is the ISSUE's fairness property test: one tenant
+// floods 200 cycle-accurate jobs, another tenant then submits analytic
+// jobs, and the analytic p95 queue wait stays bounded by the strict
+// priority of the scheduler — not proportional to the flood depth.
+//
+// Determinism: time is a virtual clock (Options.Now) that advances one
+// second per dispatched job, so "queue wait" is measured in dispatch slots,
+// not wall time, and the test cannot flake on scheduler jitter. Both worker
+// pools are parked on blocker jobs until every submission is queued, so the
+// arrival order is fixed before the first dispatch.
+func TestFairnessUnderFlood(t *testing.T) {
+	const (
+		floodJobs    = 200
+		analyticJobs = 20
+	)
+
+	var (
+		mu    sync.Mutex
+		order []string // dispatch order: "cycle" / "analytic" per non-blocker run
+
+		vclock          atomic.Int64 // virtual seconds: one tick per dispatch
+		cycleRuns       atomic.Int64
+		tierRuns        atomic.Int64
+		blockersStarted = make(chan struct{}, 2)
+		releaseBlockers = make(chan struct{})
+		record          = func(class string) {
+			vclock.Add(1)
+			mu.Lock()
+			order = append(order, class)
+			mu.Unlock()
+		}
+	)
+
+	run := func(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
+		if cycleRuns.Add(1) == 1 {
+			blockersStarted <- struct{}{}
+			<-releaseBlockers
+		} else {
+			record("cycle")
+		}
+		return system.Results{Benchmarks: benchmarks, Cores: len(benchmarks), IPC: []float64{1}}, nil
+	}
+	runTier := func(ctx context.Context, tier string, cfg config.Config, benchmarks []string) (system.Results, error) {
+		if tierRuns.Add(1) == 1 {
+			blockersStarted <- struct{}{}
+			<-releaseBlockers
+		} else {
+			record("analytic")
+		}
+		return system.Results{Benchmarks: benchmarks, Cores: len(benchmarks), IPC: []float64{1}}, nil
+	}
+
+	s, ts := newTestServer(t, Options{
+		Workers:     1,
+		FastWorkers: 1,
+		QueueDepth:  floodJobs + analyticJobs + 8,
+		Run:         run,
+		RunTier:     runTier,
+		Tenants:     mustTenants(t, "flood key-flood\nlatency key-latency\n"),
+		Now:         func() time.Time { return time.Unix(5000+vclock.Load(), 0) },
+	})
+
+	// Park both worker pools on blockers so everything below queues.
+	if status, _, raw := authedReq(t, ts, "POST", "/v1/jobs", "key-flood",
+		`{"benchmarks": ["swim"], "seed": 100000}`, nil); status != http.StatusAccepted {
+		t.Fatalf("cycle blocker: %d (%s)", status, raw)
+	}
+	if status, _, raw := authedReq(t, ts, "POST", "/v1/jobs", "key-latency",
+		`{"benchmarks": ["swim"], "seed": 100001, "fidelity": "analytic"}`, nil); status != http.StatusAccepted {
+		t.Fatalf("analytic blocker: %d (%s)", status, raw)
+	}
+	<-blockersStarted
+	<-blockersStarted
+
+	// The flood lands first, then the latecomer's analytic jobs.
+	seenIDs := make(map[string]int)
+	for i := 0; i < floodJobs; i++ {
+		// Seeds start at 10000: "seed": 0 means "default seed" and would
+		// coalesce with whichever flood job carries the default explicitly.
+		body := fmt.Sprintf(`{"benchmarks": ["swim"], "seed": %d}`, 10000+i)
+		var v jobView
+		if status, _, raw := authedReq(t, ts, "POST", "/v1/jobs", "key-flood", body, &v); status != http.StatusAccepted {
+			t.Fatalf("flood job %d: %d (%s)", i, status, raw)
+		}
+		if prev, dup := seenIDs[v.ID]; dup {
+			t.Fatalf("flood jobs %d and %d coalesced into %s", prev, i, v.ID)
+		}
+		seenIDs[v.ID] = i
+	}
+	for i := 0; i < analyticJobs; i++ {
+		body := fmt.Sprintf(`{"benchmarks": ["swim"], "seed": %d, "fidelity": "analytic"}`, 1000+i)
+		if status, _, raw := authedReq(t, ts, "POST", "/v1/jobs", "key-latency", body, nil); status != http.StatusAccepted {
+			t.Fatalf("analytic job %d: %d (%s)", i, status, raw)
+		}
+	}
+
+	close(releaseBlockers)
+
+	// Wait for the whole backlog to drain.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		n := len(order)
+		mu.Unlock()
+		if n == floodJobs+analyticJobs {
+			break
+		}
+		if time.Now().After(deadline) {
+			fast, slow := s.sched.depths()
+			t.Fatalf("backlog did not drain: %d/%d dispatches (cycle runs %d, tier runs %d, queued total %d, fast %d, slow %d)",
+				n, floodJobs+analyticJobs, cycleRuns.Load(), tierRuns.Load(), s.sched.queuedTotal(), fast, slow)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue wait of a job, in virtual seconds, is its dispatch slot index.
+	// Strict priority requires every analytic dispatch ahead of the cycle
+	// backlog; two workers racing the order append allow a small slack.
+	mu.Lock()
+	var analyticSlots []int
+	for i, class := range order {
+		if class == "analytic" {
+			analyticSlots = append(analyticSlots, i)
+		}
+	}
+	mu.Unlock()
+	if len(analyticSlots) != analyticJobs {
+		t.Fatalf("recorded %d analytic dispatches, want %d", len(analyticSlots), analyticJobs)
+	}
+	sort.Ints(analyticSlots)
+	p95 := analyticSlots[int(float64(analyticJobs)*0.95)-1]
+	const bound = analyticJobs + 4 // all analytic slots, plus append-race slack
+	if p95 >= bound {
+		t.Fatalf("analytic p95 queue wait = slot %d, want < %d (flooded by %d cycle jobs?)",
+			p95, bound, floodJobs)
+	}
+	// The flood must still complete: no starvation in the other direction.
+	if got := cycleRuns.Load(); got != floodJobs+1 {
+		t.Fatalf("cycle runs = %d, want %d", got, floodJobs+1)
+	}
+}

@@ -42,6 +42,12 @@ type Metrics struct {
 	LeasesExecuted *stats.Counter
 	LeasePoints    *stats.Counter
 
+	// Per-tenant counters, keyed by tenant name (keyfile tenants only, so
+	// cardinality is bounded by configuration). Registered by New when
+	// multi-tenant mode is on; nil-safe to index when it is off.
+	tenantAccepted map[string]*stats.Counter // admitted submissions per tenant
+	tenantRejected map[string]*stats.Counter // 429s (rate or quota) per tenant
+
 	// Per-job wall time of completed simulations.
 	wallMu sync.Mutex
 	wall   stats.Summary
@@ -80,6 +86,9 @@ func newMetrics() *Metrics {
 
 		LeasesExecuted: reg.Counter("cluster_leases_executed"),
 		LeasePoints:    reg.Counter("cluster_lease_points_total"),
+
+		tenantAccepted: make(map[string]*stats.Counter),
+		tenantRejected: make(map[string]*stats.Counter),
 	}
 	reg.Func("job_wall_ms_count", func() any { i, _, _ := m.wallSnapshot(); return i })
 	reg.Func("job_wall_ms_mean", func() any { _, mean, _ := m.wallSnapshot(); return mean })

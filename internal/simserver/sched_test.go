@@ -1,0 +1,258 @@
+package simserver
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// schedJob builds a minimal queued job for scheduler unit tests.
+func schedJob(id string, class int, tenant *Tenant) *job {
+	return &job{id: id, class: class, tenant: tenant}
+}
+
+// drain pops up to n job IDs from the scheduler without blocking forever:
+// the scheduler is closed first so next() returns false once empty.
+func drain(t *testing.T, sc *scheduler, maxClass int) []string {
+	t.Helper()
+	sc.close()
+	var ids []string
+	for {
+		it, ok := sc.next(maxClass)
+		if !ok {
+			return ids
+		}
+		if it.j == nil {
+			t.Fatal("drain: got ticket item, want job")
+		}
+		ids = append(ids, it.j.id)
+	}
+}
+
+func TestSchedulerStrictPriority(t *testing.T) {
+	sc := newScheduler(16)
+	// Enqueue in reverse priority order; dispatch must invert it.
+	for _, j := range []*job{
+		schedJob("batch-1", classBatch, nil),
+		schedJob("cycle-1", classCycle, nil),
+		schedJob("sampled-1", classSampled, nil),
+		schedJob("analytic-1", classAnalytic, nil),
+	} {
+		if !sc.offerJob(j) {
+			t.Fatalf("offer %s rejected", j.id)
+		}
+	}
+	got := drain(t, sc, classBatch)
+	want := []string{"analytic-1", "sampled-1", "cycle-1", "batch-1"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSchedulerWDRR checks the weighted deficit round-robin within one
+// class: with weights 3:1, a full rotation serves three of tenant A's items
+// per one of tenant B's.
+func TestSchedulerWDRR(t *testing.T) {
+	a := &Tenant{Name: "a", Weight: 3}
+	b := &Tenant{Name: "b", Weight: 1}
+	sc := newScheduler(64)
+	for i := 0; i < 6; i++ {
+		if !sc.offerJob(schedJob("a", classCycle, a)) {
+			t.Fatal("offer a rejected")
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if !sc.offerJob(schedJob("b", classCycle, b)) {
+			t.Fatal("offer b rejected")
+		}
+	}
+	got := drain(t, sc, classBatch)
+	want := []string{"a", "a", "a", "b", "a", "a", "a", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSchedulerFloodFairness: tenant A floods the class; B's lone item is
+// still served within one ring rotation (at most weight(A) items early).
+func TestSchedulerFloodFairness(t *testing.T) {
+	a := &Tenant{Name: "a", Weight: 2}
+	b := &Tenant{Name: "b", Weight: 1}
+	sc := newScheduler(256)
+	for i := 0; i < 100; i++ {
+		sc.offerJob(schedJob("a", classCycle, a))
+	}
+	sc.offerJob(schedJob("b", classCycle, b))
+	got := drain(t, sc, classBatch)
+	pos := -1
+	for i, id := range got {
+		if id == "b" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > 2 {
+		t.Fatalf("tenant b served at position %d, want <= 2 (one ring rotation)", pos)
+	}
+}
+
+func TestSchedulerLaneCapacity(t *testing.T) {
+	sc := newScheduler(2)
+	// The analytic fast lane and the slow lane have independent capacity.
+	for i := 0; i < 2; i++ {
+		if !sc.offerJob(schedJob("f", classAnalytic, nil)) {
+			t.Fatal("fast lane rejected under capacity")
+		}
+		if !sc.offerJob(schedJob("s", classCycle, nil)) {
+			t.Fatal("slow lane rejected under capacity")
+		}
+	}
+	if sc.offerJob(schedJob("f", classAnalytic, nil)) {
+		t.Fatal("fast lane accepted over capacity")
+	}
+	if sc.offerJob(schedJob("s", classBatch, nil)) {
+		t.Fatal("slow lane accepted over capacity")
+	}
+	fast, slow := sc.depths()
+	if fast != 2 || slow != 2 {
+		t.Fatalf("depths = (%d, %d), want (2, 2)", fast, slow)
+	}
+}
+
+func TestSchedulerMaxClassFiltering(t *testing.T) {
+	sc := newScheduler(16)
+	sc.offerJob(schedJob("cycle-1", classCycle, nil))
+
+	// A fast worker (maxClass=classAnalytic) must not see the cycle job.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if it, ok := sc.next(classAnalytic); ok {
+			if it.j != nil && it.j.class != classAnalytic {
+				t.Errorf("fast worker dispatched class %d", it.j.class)
+			}
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("fast worker returned while only cycle work was queued")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// A general worker drains it; the fast worker exits on close.
+	if it, ok := sc.next(classBatch); !ok || it.j == nil || it.j.id != "cycle-1" {
+		t.Fatalf("general worker got %+v, %v", it, ok)
+	}
+	sc.close()
+	<-done
+}
+
+func TestSchedulerQueuedCounts(t *testing.T) {
+	a := &Tenant{Name: "a"}
+	sc := newScheduler(16)
+	sc.offerJob(schedJob("a1", classCycle, a))
+	sc.offerJob(schedJob("a2", classAnalytic, a))
+	sc.offerJob(schedJob("x", classBatch, nil))
+	if got := sc.queuedFor("a"); got != 2 {
+		t.Fatalf("queuedFor(a) = %d, want 2", got)
+	}
+	if got := sc.queuedTotal(); got != 3 {
+		t.Fatalf("queuedTotal = %d, want 3", got)
+	}
+}
+
+func TestSchedulerTicketLifecycle(t *testing.T) {
+	sc := newScheduler(16)
+	tk := &ticket{grant: make(chan struct{}), done: make(chan struct{})}
+	if err := sc.enqueueTicket(tk, classBatch, "a", 1); err != nil {
+		t.Fatalf("enqueueTicket: %v", err)
+	}
+	it, ok := sc.next(classBatch)
+	if !ok || it.tk != tk {
+		t.Fatalf("next = %+v, %v, want the ticket", it, ok)
+	}
+	// Tickets don't count against the job lanes.
+	if fast, slow := sc.depths(); fast != 0 || slow != 0 {
+		t.Fatalf("ticket changed lane depths: (%d, %d)", fast, slow)
+	}
+
+	sc.close()
+	if err := sc.enqueueTicket(tk, classBatch, "a", 1); err != errSchedClosed {
+		t.Fatalf("enqueueTicket after close = %v, want errSchedClosed", err)
+	}
+}
+
+// TestAcquireSlotAbandon: a slot waiter whose context is cancelled before
+// dispatch abandons its ticket, and a worker later popping that ticket
+// skips it without parking.
+func TestAcquireSlotAbandon(t *testing.T) {
+	s := &Server{sched: newScheduler(16)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	release := s.acquireSlotFlow(ctx, "a", 1, classBatch)
+	release() // must be a no-op, not a deadlock
+
+	// The abandoned ticket is still queued; serveTicket must skip it.
+	it, ok := s.sched.next(classBatch)
+	if !ok || it.tk == nil {
+		t.Fatalf("next = %+v, %v, want abandoned ticket", it, ok)
+	}
+	doneServe := make(chan struct{})
+	go func() { s.serveTicket(it.tk); close(doneServe) }()
+	select {
+	case <-doneServe:
+	case <-time.After(time.Second):
+		t.Fatal("serveTicket parked on an abandoned ticket")
+	}
+}
+
+// TestAcquireSlotGrant: the normal loan round-trip between a holder and a
+// serving worker.
+func TestAcquireSlotGrant(t *testing.T) {
+	s := &Server{sched: newScheduler(16)}
+	acquired := make(chan func())
+	go func() {
+		acquired <- s.acquireSlotFlow(context.Background(), "a", 1, classBatch)
+	}()
+
+	it, ok := s.sched.next(classBatch)
+	if !ok || it.tk == nil {
+		t.Fatalf("next = %+v, %v, want ticket", it, ok)
+	}
+	served := make(chan struct{})
+	go func() { s.serveTicket(it.tk); close(served) }()
+
+	var release func()
+	select {
+	case release = <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("acquireSlotFlow never granted")
+	}
+	select {
+	case <-served:
+		t.Fatal("serveTicket returned before release")
+	case <-time.After(10 * time.Millisecond):
+	}
+	release()
+	select {
+	case <-served:
+	case <-time.After(time.Second):
+		t.Fatal("serveTicket did not resume after release")
+	}
+}
+
+// TestAcquireSlotClosedScheduler: after close, slot loans run ungated so
+// shutdown can drain in-flight sweeps without live workers.
+func TestAcquireSlotClosedScheduler(t *testing.T) {
+	s := &Server{sched: newScheduler(16)}
+	s.sched.close()
+	release := s.acquireSlotFlow(context.Background(), "a", 1, classBatch)
+	release()
+}

@@ -149,6 +149,19 @@ type Options struct {
 	// sub-second estimate is never stuck behind queued cycle-accurate
 	// work (default 1).
 	FastWorkers int
+	// Tenants, when non-nil and non-empty, turns on multi-tenant mode:
+	// every /v1 request must carry a keyfile bearer token, submissions are
+	// charged against the tenant's token bucket and concurrency quota, and
+	// the scheduler arbitrates fairly across tenants. Nil means open
+	// access (single-tenant mode, backward compatible).
+	Tenants *TenantSet
+	// ClusterKey, when set alongside Tenants, is the shared secret the
+	// /v1/cluster endpoints require instead of a tenant key: coordinators
+	// and workers authenticate to each other with it.
+	ClusterKey string
+	// Now overrides the wall clock (tests). Queue-wait metrics and tenant
+	// token buckets read it; the simulated-time clock package is unrelated.
+	Now func() time.Time
 }
 
 func (o Options) norm() Options {
@@ -202,6 +215,9 @@ func (o Options) norm() Options {
 	if o.FastWorkers <= 0 {
 		o.FastWorkers = 1
 	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
 	return o
 }
 
@@ -241,6 +257,11 @@ type job struct {
 	// retries is the client-requested transient-failure retry budget,
 	// clamped to Options.MaxJobRetries at submission.
 	retries int
+	// class is the scheduler priority class derived from fidelity
+	// (classForFidelity); tenant is the submitting principal, nil in
+	// open-access mode.
+	class  int
+	tenant *Tenant
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -277,6 +298,8 @@ func (j *job) snapshotView(withResults bool) jobView {
 		ID:              j.id,
 		Key:             j.key,
 		State:           string(j.state),
+		Class:           classNames[j.class],
+		Tenant:          j.tenantName(),
 		Benchmarks:      j.benchmarks,
 		Fidelity:        j.fidelity,
 		Attempts:        j.attempts,
@@ -338,17 +361,44 @@ func (j *job) currentState() State {
 	return j.state
 }
 
-// Server is the simulation service: queue, worker pool, cache, metrics.
+// tenantName is the job's owning tenant for views, logs and the
+// scheduler's flow key; empty in open-access mode.
+func (j *job) tenantName() string {
+	if j.tenant == nil {
+		return defaultTenant
+	}
+	return j.tenant.Name
+}
+
+// coalesceKey is the tenant-scoped key the job is registered under in
+// s.byKey.
+func (j *job) coalesceKey() string {
+	return coalesceKey(j.tenant, j.key)
+}
+
+// releaseQuota returns the job's admission unit to its tenant; safe to
+// call for open-access jobs.
+func (j *job) releaseQuota() {
+	if j.tenant != nil {
+		j.tenant.release()
+	}
+}
+
+// Server is the simulation service: scheduler, worker pool, cache, metrics.
 type Server struct {
 	opts    Options
 	metrics *Metrics
 	cache   *sweep.Cache
-	queue   chan *job
-	// fastQueue is the analytic-job lane, drained by its own worker
-	// pool: a sub-second estimate never waits behind queued
-	// cycle-accurate simulations.
-	fastQueue chan *job
-	hub       *telemetry.Hub
+	// sched is the admission queue: strict priority across fidelity
+	// classes, weighted deficit round-robin across tenants within a class
+	// (see sched.go). It subsumes the old FIFO channel pair.
+	sched   *scheduler
+	tenants *TenantSet
+	// now is the wall-clock seam (Options.Now): queue-wait accounting and
+	// tenant token buckets read it, so fairness tests can drive virtual
+	// time deterministically.
+	now     func() time.Time
+	hub     *telemetry.Hub
 	log     *slog.Logger
 	started time.Time
 	occ     occHistory
@@ -364,10 +414,10 @@ type Server struct {
 	// with full jitter (internal/retry), built from Options.RetryBackoff.
 	retryPol retry.Policy
 
-	mu          sync.Mutex
-	jobs        map[string]*job
-	byKey       map[string]*job // queued/running jobs, for coalescing
-	sweeps      map[string]*sweepJob
+	mu     sync.Mutex
+	jobs   map[string]*job
+	byKey  map[string]*job // queued/running jobs, for coalescing
+	sweeps map[string]*sweepJob
 	// clusterJournals holds this worker's lease-execution journals, one
 	// per sweep fingerprint, opened lazily by /v1/cluster/execute and
 	// closed at Shutdown.
@@ -390,8 +440,9 @@ func New(opts Options) *Server {
 		opts:       o,
 		metrics:    newMetrics(),
 		cache:      sweep.NewCache(o.CacheEntries),
-		queue:      make(chan *job, o.QueueDepth),
-		fastQueue:  make(chan *job, o.QueueDepth),
+		sched:      newScheduler(o.QueueDepth),
+		tenants:    o.Tenants,
+		now:        o.Now,
 		hub:        telemetry.NewHub(o.Telemetry),
 		log:        o.Logger,
 		started:    time.Now(),
@@ -407,8 +458,8 @@ func New(opts Options) *Server {
 		clusterJournals: make(map[string]*workerJournal),
 	}
 	reg := s.metrics.Registry()
-	reg.Func("queue_depth", func() any { return len(s.queue) })
-	reg.Func("fast_queue_depth", func() any { return len(s.fastQueue) })
+	reg.Func("queue_depth", func() any { _, slow := s.sched.depths(); return slow })
+	reg.Func("fast_queue_depth", func() any { fast, _ := s.sched.depths(); return fast })
 	reg.Func("workers", func() any { return o.Workers })
 	reg.Func("workers_busy", func() any { return s.busy.Load() })
 	reg.Func("cache_entries", func() any { return s.cache.Len() })
@@ -425,6 +476,17 @@ func New(opts Options) *Server {
 		reg.Func("cluster_points_requeued", func() any { return co.Counters().PointsRequeued })
 		reg.Func("cluster_points_duplicate", func() any { return co.Counters().PointsDuplicate })
 	}
+	// Per-tenant gauges: the label set is the keyfile's tenant list, fixed
+	// at startup, so cardinality is bounded by configuration, never by
+	// request data.
+	for _, name := range s.tenants.Names() {
+		t := s.tenants.ByName(name)
+		labels := map[string]string{"tenant": name}
+		reg.LabeledFunc("tenant_queued", labels, func() any { return s.sched.queuedFor(name) })
+		reg.LabeledFunc("tenant_active", labels, func() any { return t.activeCount() })
+		s.metrics.tenantRejected[name] = reg.LabeledCounter("tenant_rejected", labels)
+		s.metrics.tenantAccepted[name] = reg.LabeledCounter("tenant_accepted", labels)
+	}
 	for i := 0; i < o.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -439,37 +501,40 @@ func New(opts Options) *Server {
 // Metrics exposes the server's counters (tests, embedding binaries).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// worker drains the queue until it is closed by Shutdown. When the main
-// queue has nothing ready, an idle worker helps the fast lane.
+// worker pulls from every scheduler class in strict priority order until
+// the scheduler is closed and drained by Shutdown. An idle general worker
+// therefore helps the analytic class first, then sampled, cycle-accurate
+// and finally batch slot tickets.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for {
-		select {
-		case j, ok := <-s.queue:
-			if !ok {
-				return
-			}
-			s.runJob(j)
-		case j, ok := <-s.fastQueue:
-			if !ok {
-				// Fast lane closed; keep draining the main queue.
-				for j := range s.queue {
-					s.runJob(j)
-				}
-				return
-			}
-			s.runJob(j)
+		it, ok := s.sched.next(classBatch)
+		if !ok {
+			return
+		}
+		if it.j != nil {
+			s.runJob(it.j)
+		} else {
+			s.serveTicket(it.tk)
 		}
 	}
 }
 
-// fastWorker drains only the fast lane, so analytic estimates keep their
+// fastWorker serves only the analytic class, so estimates keep their
 // sub-second latency even when every general worker is deep in a
-// cycle-accurate run.
+// cycle-accurate run or parked on a sweep slot.
 func (s *Server) fastWorker() {
 	defer s.workerWG.Done()
-	for j := range s.fastQueue {
-		s.runJob(j)
+	for {
+		it, ok := s.sched.next(classAnalytic)
+		if !ok {
+			return
+		}
+		if it.j != nil {
+			s.runJob(it.j)
+		} else {
+			s.serveTicket(it.tk)
+		}
 	}
 }
 
@@ -518,7 +583,7 @@ func (s *Server) runJob(j *job) {
 		// Cancelled while queued; cancelJob already finished it.
 		return
 	}
-	s.metrics.ObserveQueueWait(time.Since(j.submitted))
+	s.metrics.ObserveQueueWait(s.now().Sub(j.submitted))
 	j.publishState(StateRunning)
 	s.busy.Add(1)
 	defer s.busy.Add(-1)
@@ -578,10 +643,11 @@ func (s *Server) runJob(j *job) {
 	wall := time.Since(start)
 
 	s.mu.Lock()
-	if s.byKey[j.key] == j {
-		delete(s.byKey, j.key)
+	if s.byKey[j.coalesceKey()] == j {
+		delete(s.byKey, j.coalesceKey())
 	}
 	s.mu.Unlock()
+	defer j.releaseQuota()
 
 	s.metrics.ObserveRunDuration(wall)
 
@@ -621,9 +687,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.closed = true
 		s.mu.Unlock()
 		// No submission can be in flight past this point: enqueue happens
-		// under s.mu with the closed check, so closing the channels is safe.
-		close(s.queue)
-		close(s.fastQueue)
+		// under s.mu with the closed check. Closing the scheduler stops
+		// intake; workers keep draining what is already queued. Draining
+		// sweeps acquire their slots ungated from here on, so they cannot
+		// deadlock against exiting workers.
+		s.sched.close()
 		// Wake every SSE handler so streaming connections end now, not at
 		// the end of the HTTP server's grace period.
 		close(s.shutdownCh)
@@ -686,9 +754,16 @@ type submitRequest struct {
 
 // jobView is the JSON rendering of a job.
 type jobView struct {
-	ID         string   `json:"id"`
-	Key        string   `json:"key"`
-	State      string   `json:"state"`
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State string `json:"state"`
+	// Class is the scheduler priority class the job was admitted under:
+	// "analytic", "sampled", "cycle-accurate" or "batch" (see sched.go).
+	Class string `json:"class"`
+	// Tenant is the owning principal's keyfile name; absent in
+	// open-access mode, so pre-multi-tenant clients and goldens are
+	// unaffected.
+	Tenant     string   `json:"tenant,omitempty"`
 	Benchmarks []string `json:"benchmarks,omitempty"`
 	// Fidelity is the job's simulation tier; absent means
 	// cycle-accurate (so pre-fidelity clients and goldens see
@@ -711,34 +786,56 @@ type jobView struct {
 	Results         *system.Results `json:"results,omitempty"`
 }
 
-// Handler returns the server's HTTP API.
+// route is one entry of the server's route table: the single source of
+// truth for mux registration, per-route authentication, and the OpenAPI
+// contract — the spec-drift test asserts this table and api/openapi.yaml
+// describe exactly the same method/path surface.
+type route struct {
+	method  string
+	pattern string
+	auth    authKind
+	h       http.HandlerFunc
+}
+
+// routes returns the full API surface. Add routes here (and to
+// api/openapi.yaml — the drift test enforces the pairing), never directly
+// on the mux.
+func (s *Server) routes() []route {
+	return []route{
+		{"POST", "/v1/jobs", authTenant, s.handleSubmit},
+		{"GET", "/v1/jobs", authTenant, s.handleJobs},
+		{"GET", "/v1/jobs/{id}", authTenant, s.handleGet},
+		{"GET", "/v1/jobs/{id}/trace", authTenant, s.handleTrace},
+		{"GET", "/v1/jobs/{id}/timeline", authTenant, s.handleTimeline},
+		{"GET", "/v1/jobs/{id}/events", authTenant, s.handleJobEvents},
+		{"GET", "/v1/jobs/{id}/stats", authTenant, s.handleJobStats},
+		{"POST", "/v1/jobs/{id}/pause", authTenant, s.handlePause},
+		{"GET", "/v1/jobs/{id}/checkpoint", authTenant, s.handleCheckpoint},
+		{"DELETE", "/v1/jobs/{id}", authTenant, s.handleCancel},
+		{"GET", "/v1/results/{key}", authTenant, s.handleResult},
+		{"POST", "/v1/sweeps", authTenant, s.handleSweepSubmit},
+		{"GET", "/v1/sweeps/{id}", authTenant, s.handleSweepGet},
+		{"GET", "/v1/sweeps/{id}/results", authTenant, s.handleSweepResults},
+		{"GET", "/v1/sweeps/{id}/events", authTenant, s.handleSweepEvents},
+		{"DELETE", "/v1/sweeps/{id}", authTenant, s.handleSweepCancel},
+		{"POST", "/v1/cluster/join", authCluster, s.handleClusterJoin},
+		{"POST", "/v1/cluster/heartbeat", authCluster, s.handleClusterHeartbeat},
+		{"POST", "/v1/cluster/execute", authCluster, s.handleClusterExecute},
+		{"GET", "/v1/cluster", authCluster, s.handleClusterStatus},
+		{"GET", "/v1/dashboard", authTenant, s.handleDashboard},
+		{"GET", "/v1/version", authOpen, s.handleVersion},
+		{"GET", "/healthz", authOpen, s.handleHealth},
+		{"GET", "/readyz", authOpen, s.handleReady},
+		{"GET", "/metrics", authOpen, s.handleMetrics},
+	}
+}
+
+// Handler returns the server's HTTP API with per-route authentication.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
-	mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleTimeline)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/stats", s.handleJobStats)
-	mux.HandleFunc("POST /v1/jobs/{id}/pause", s.handlePause)
-	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
-	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
-	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
-	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleSweepResults)
-	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleSweepEvents)
-	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
-	mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
-	mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleClusterHeartbeat)
-	mux.HandleFunc("POST /v1/cluster/execute", s.handleClusterExecute)
-	mux.HandleFunc("GET /v1/cluster", s.handleClusterStatus)
-	mux.HandleFunc("GET /v1/dashboard", s.handleDashboard)
-	mux.HandleFunc("GET /v1/version", s.handleVersion)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /readyz", s.handleReady)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for _, rt := range s.routes() {
+		mux.HandleFunc(rt.method+" "+rt.pattern, s.withAuth(rt.auth, rt.h))
+	}
 	return mux
 }
 
@@ -760,6 +857,14 @@ const (
 	codeCancelTimeout = "cancel_timeout"
 	codePauseTimeout  = "pause_timeout"
 	codeInternal      = "internal"
+	// Multi-tenant mode codes: missing/unknown bearer token, a valid token
+	// reaching another principal's resource, and the two 429 variants — a
+	// token-bucket rate rejection and a concurrency-quota rejection. Both
+	// 429s carry a Retry-After header.
+	codeUnauthorized  = "unauthorized"
+	codeForbidden     = "forbidden"
+	codeRateLimited   = "rate_limited"
+	codeQuotaExceeded = "quota_exceeded"
 )
 
 // errorView is the uniform error envelope of the /v1 API:
@@ -862,7 +967,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				"from_checkpoint resumes cycle-accurately; fidelity cannot accompany it")
 			return
 		}
-		s.resumeFromCheckpoint(w, &req)
+		s.resumeFromCheckpoint(w, r, &req)
 		return
 	}
 	tier, err := fidelity.Parse(req.Fidelity)
@@ -884,14 +989,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
-	s.admit(w, fidelity.Key(tier, cfg, req.Benchmarks), cfg, req.Benchmarks, req.Retries, nil, fid)
+	s.admit(w, r, fidelity.Key(tier, cfg, req.Benchmarks), cfg, req.Benchmarks, req.Retries, nil, fid)
 }
 
 // resumeFromCheckpoint admits a job that continues a paused job's simulation
 // from its stored snapshot instead of cycle zero. The resumed run replays
 // the exact machine, so it shares the source job's cache key: a cached or
 // in-flight identical run satisfies the resume without simulating.
-func (s *Server) resumeFromCheckpoint(w http.ResponseWriter, req *submitRequest) {
+func (s *Server) resumeFromCheckpoint(w http.ResponseWriter, r *http.Request, req *submitRequest) {
 	if req.Preset != "" || len(req.Config) > 0 || len(req.Benchmarks) > 0 ||
 		req.Seed != 0 || req.MaxInsts != 0 || req.Warmup != 0 || req.Trace {
 		writeError(w, http.StatusBadRequest, codeBadRequest,
@@ -899,7 +1004,7 @@ func (s *Server) resumeFromCheckpoint(w http.ResponseWriter, req *submitRequest)
 		return
 	}
 	src := s.lookup(req.FromCheckpoint)
-	if src == nil {
+	if src == nil || !s.ownsJob(r, src) {
 		writeError(w, http.StatusNotFound, codeNotFound, "no such job %q", req.FromCheckpoint)
 		return
 	}
@@ -911,74 +1016,144 @@ func (s *Server) resumeFromCheckpoint(w http.ResponseWriter, req *submitRequest)
 			"job %s is %s; only a paused job's checkpoint can be resumed", src.id, state)
 		return
 	}
-	s.admit(w, src.key, src.cfg, src.benchmarks, req.Retries, data, "")
+	s.admit(w, r, src.key, src.cfg, src.benchmarks, req.Retries, data, "")
 }
 
-// admit runs the shared admission path: cache fast path, in-flight
-// coalescing, then enqueue. restore, when non-nil, is the snapshot the job
-// starts from.
-func (s *Server) admit(w http.ResponseWriter, key string, cfg config.Config, benchmarks []string, retries int, restore []byte, fid string) {
+// chargeTenant runs the multi-tenant admission gates — token-bucket rate,
+// then concurrency quota — writing the 429 (with Retry-After) itself on
+// rejection. On success one admission unit is held; the caller must pair
+// it with tenant.release() when the work leaves the system. A nil tenant
+// (open-access mode) always passes.
+func (s *Server) chargeTenant(w http.ResponseWriter, t *Tenant) bool {
+	if t == nil {
+		return true
+	}
+	verdict := t.admitOne(s.now())
+	if verdict.ok {
+		return true
+	}
+	if c := s.metrics.tenantRejected[t.Name]; c != nil {
+		c.Inc()
+	}
+	s.metrics.Rejected.Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int(verdict.retryAfter.Seconds()+0.5)))
+	if verdict.code == codeQuotaExceeded {
+		writeError(w, http.StatusTooManyRequests, codeQuotaExceeded,
+			"tenant %q has %d submissions active (max_active %d); retry later", t.Name, t.activeCount(), t.MaxActive)
+		return false
+	}
+	writeError(w, http.StatusTooManyRequests, codeRateLimited,
+		"tenant %q exceeded its submission rate (%g/s); retry later", t.Name, t.Rate)
+	return false
+}
+
+// coalesceKey scopes in-flight coalescing to one tenant: identical
+// submissions from different tenants must not share a job record (the
+// follower would be handed a job it cannot read), while the result cache
+// stays shared — a completed simulation is tenant-neutral data.
+func coalesceKey(t *Tenant, key string) string {
+	if t == nil {
+		return key
+	}
+	return t.Name + "\x00" + key
+}
+
+// admit runs the shared admission path: tenant rate/quota gates, cache
+// fast path, in-flight coalescing, then enqueue into the fair-share
+// scheduler. restore, when non-nil, is the snapshot the job starts from.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, key string, cfg config.Config, benchmarks []string, retries int, restore []byte, fid string) {
+	tenant := s.tenantFrom(r)
+	if !s.chargeTenant(w, tenant) {
+		return
+	}
+	ckey := coalesceKey(tenant, key)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		if tenant != nil {
+			tenant.release()
+		}
 		writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "server is shutting down")
 		return
 	}
-	// Fast path 1: an identical completed run is cached.
+	// Fast path 1: an identical completed run is cached. The response job
+	// is born terminal, so its quota unit is returned immediately.
 	if res, ok := s.cache.Get(key); ok {
 		id := s.newIDLocked()
 		j := s.newJobLocked(id, key, cfg, benchmarks, 0)
 		j.fidelity = fid
+		j.class = classForFidelity(fid)
+		j.tenant = tenant
 		j.finish(StateDone, res, "")
 		j.cancel() // release the job context; nothing will run
 		s.metrics.Accepted.Inc()
 		s.metrics.CacheHits.Inc()
+		s.countAccepted(tenant)
 		s.mu.Unlock()
+		if tenant != nil {
+			tenant.release()
+		}
 		v := j.snapshotView(true)
 		v.Cached = true
 		writeJSON(w, http.StatusOK, v)
 		return
 	}
-	// Fast path 2: an identical job is already queued or running —
-	// coalesce onto it instead of simulating twice.
-	if existing, ok := s.byKey[key]; ok {
+	// Fast path 2: an identical job from the same tenant is already
+	// queued or running — coalesce onto it instead of simulating twice.
+	if existing, ok := s.byKey[ckey]; ok {
 		s.metrics.Accepted.Inc()
 		s.metrics.CacheHits.Inc()
+		s.countAccepted(tenant)
 		s.mu.Unlock()
+		if tenant != nil {
+			tenant.release()
+		}
 		v := existing.snapshotView(false)
 		v.Coalesced = true
 		writeJSON(w, http.StatusAccepted, v)
 		return
 	}
-	// Slow path: a fresh simulation must be queued. Analytic jobs take
-	// the fast lane — its dedicated workers guarantee they never wait
-	// behind queued cycle-accurate simulations.
+	// Slow path: a fresh simulation enters the scheduler under its
+	// fidelity class; the analytic class's dedicated workers guarantee an
+	// estimate never waits behind queued cycle-accurate simulations, and
+	// WDRR arbitrates across tenants inside each class.
 	id := s.newIDLocked()
 	j := s.newJobLocked(id, key, cfg, benchmarks, retries)
 	j.fidelity = fid
+	j.class = classForFidelity(fid)
+	j.tenant = tenant
 	j.restore = restore
-	lane := s.queue
-	if fid == string(fidelity.Analytic) {
-		lane = s.fastQueue
-	}
-	select {
-	case lane <- j:
-	default:
+	if !s.sched.offerJob(j) {
 		delete(s.jobs, id)
 		j.cancel()
 		s.metrics.Rejected.Inc()
 		s.mu.Unlock()
+		if tenant != nil {
+			tenant.release()
+		}
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds()+0.5)))
 		writeError(w, http.StatusTooManyRequests, codeQueueFull, "job queue full (depth %d); retry later", s.opts.QueueDepth)
 		return
 	}
-	s.byKey[key] = j
+	s.byKey[ckey] = j
 	s.metrics.Accepted.Inc()
 	s.metrics.CacheMisses.Inc()
+	s.countAccepted(tenant)
 	s.mu.Unlock()
 	s.log.Info("job accepted", "job_id", j.id, "benchmarks", benchmarks,
-		"traced", cfg.Trace.Enabled, "fidelity", fidelity.Tier(fid).String())
+		"traced", cfg.Trace.Enabled, "fidelity", fidelity.Tier(fid).String(),
+		"class", classNames[j.class], "tenant", j.tenantName())
 	writeJSON(w, http.StatusAccepted, j.snapshotView(false))
+}
+
+// countAccepted bumps the per-tenant acceptance counter when one exists.
+func (s *Server) countAccepted(t *Tenant) {
+	if t == nil {
+		return
+	}
+	if c := s.metrics.tenantAccepted[t.Name]; c != nil {
+		c.Inc()
+	}
 }
 
 // newIDLocked mints a job id; caller holds s.mu.
@@ -1001,7 +1176,7 @@ func (s *Server) newJobLocked(id, key string, cfg config.Config, benchmarks []st
 		key:        key,
 		cfg:        cfg,
 		benchmarks: append([]string(nil), benchmarks...),
-		submitted:  time.Now(),
+		submitted:  s.now(),
 		retries:    retries,
 		ctx:        ctx,
 		cancel:     cancel,
@@ -1043,24 +1218,26 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	out := jobsView{Jobs: make([]jobView, 0, len(jobs))}
 	for _, j := range jobs {
+		// Multi-tenant mode lists only the requester's own jobs.
+		if !s.ownsJob(r, j) {
+			continue
+		}
 		out.Jobs = append(out.Jobs, j.snapshotView(false))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.authorizeJob(w, r)
 	if j == nil {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.snapshotView(true))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.authorizeJob(w, r)
 	if j == nil {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	s.cancelJob(j)
@@ -1091,11 +1268,12 @@ func (s *Server) cancelJob(j *job) {
 		close(j.done)
 		j.closeStream(StateCancelled)
 		s.mu.Lock()
-		if s.byKey[j.key] == j {
-			delete(s.byKey, j.key)
+		if s.byKey[j.coalesceKey()] == j {
+			delete(s.byKey, j.coalesceKey())
 		}
 		s.mu.Unlock()
 		s.metrics.Cancelled.Inc()
+		j.releaseQuota()
 		j.cancel()
 		return
 	}
@@ -1109,9 +1287,8 @@ func (s *Server) cancelJob(j *job) {
 // job's resulting state — normally "paused", or "done" when the run crossed
 // the finish line before the trigger landed.
 func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.authorizeJob(w, r)
 	if j == nil {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	if j.fidelity != "" {
@@ -1143,9 +1320,8 @@ func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
 // the simulator's versioned snapshot container, suitable for
 // "from_checkpoint" resubmission or offline fbdsim -restore.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.authorizeJob(w, r)
 	if j == nil {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	j.mu.Lock()
@@ -1198,6 +1374,19 @@ type readyView struct {
 	// ClusterWorkersLive is the coordinator's live-worker count; absent
 	// outside coordinator role.
 	ClusterWorkersLive *int `json:"cluster_workers_live,omitempty"`
+	// Tenants is the per-tenant quota state, keyed by tenant name; absent
+	// in open-access mode (so pre-multi-tenant probes see the exact
+	// pre-existing document).
+	Tenants map[string]tenantQuotaView `json:"tenants,omitempty"`
+}
+
+// tenantQuotaView is one tenant's live admission state in /readyz.
+type tenantQuotaView struct {
+	Active    int     `json:"active"`
+	Queued    int     `json:"queued"`
+	MaxActive int     `json:"max_active,omitempty"`
+	Rate      float64 `json:"rate,omitempty"`
+	Weight    int     `json:"weight"`
 }
 
 // handleReady is the load-balancer readiness probe, distinct from liveness:
@@ -1208,9 +1397,10 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
+	_, slow := s.sched.depths()
 	v := readyView{
-		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
+		QueueDepth:    slow,
+		QueueCapacity: s.opts.QueueDepth,
 		Workers:       s.opts.Workers,
 		WorkersBusy:   s.busy.Load(),
 		SweepsActive:  s.activeSweeps(),
@@ -1219,6 +1409,19 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if co := s.opts.Coordinator; co != nil {
 		live := co.LiveWorkerCount()
 		v.ClusterWorkersLive = &live
+	}
+	if s.tenants.Enabled() {
+		v.Tenants = make(map[string]tenantQuotaView, len(s.tenants.Names()))
+		for _, name := range s.tenants.Names() {
+			t := s.tenants.ByName(name)
+			v.Tenants[name] = tenantQuotaView{
+				Active:    t.activeCount(),
+				Queued:    s.sched.queuedFor(name),
+				MaxActive: t.MaxActive,
+				Rate:      t.Rate,
+				Weight:    t.weight(),
+			}
+		}
 	}
 	switch {
 	case closed:
@@ -1247,9 +1450,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // response itself when the artifact is unavailable. Returns nil after an
 // error has been written.
 func (s *Server) traceSummary(w http.ResponseWriter, r *http.Request) *memtrace.Summary {
-	j := s.lookup(r.PathValue("id"))
+	j := s.authorizeJob(w, r)
 	if j == nil {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return nil
 	}
 	j.mu.Lock()

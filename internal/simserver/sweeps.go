@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"fbdsim/internal/cluster"
+	"fbdsim/internal/config"
 	"fbdsim/internal/sweep"
+	"fbdsim/internal/system"
 	"fbdsim/internal/telemetry"
 	"fbdsim/internal/workload"
 )
@@ -74,6 +76,13 @@ type sweepView struct {
 	ID    string `json:"id"`
 	Name  string `json:"name"`
 	State string `json:"state"`
+	// Class is the scheduler priority class sweep points run under —
+	// always "batch": grid points borrow worker slots at the lowest
+	// priority so interactive jobs overtake them.
+	Class string `json:"class"`
+	// Tenant is the owning principal's keyfile name; absent in
+	// open-access mode.
+	Tenant string `json:"tenant,omitempty"`
 	// Fingerprint is the spec's identity hash (see sweep.Spec.Fingerprint).
 	Fingerprint string `json:"fingerprint"`
 	// Progress carries the engine counters: total, completed, failed,
@@ -93,10 +102,14 @@ type sweepJob struct {
 	id          string
 	name        string
 	fingerprint string
-	total       int
-	progress    func() sweep.Progress
-	cancel      context.CancelFunc
-	done        chan struct{} // closed on terminal transition
+	// tenant is the owning principal's name ("" in open-access mode);
+	// tenantRef is the live record for quota release at terminal time.
+	tenant    string
+	tenantRef *Tenant
+	total     int
+	progress  func() sweep.Progress
+	cancel    context.CancelFunc
+	done      chan struct{} // closed on terminal transition
 
 	// stream is the sweep's live-telemetry channel: lifecycle states plus
 	// one point event per completed grid point.
@@ -131,6 +144,15 @@ func newSweepJob(id string, spec sweep.Spec, total int, progress func() sweep.Pr
 	return sj
 }
 
+// setTenant stamps the sweep's owner before it is published in s.sweeps.
+func (sj *sweepJob) setTenant(t *Tenant) {
+	if t == nil {
+		return
+	}
+	sj.tenant = t.Name
+	sj.tenantRef = t
+}
+
 func (sj *sweepJob) view() sweepView {
 	sj.mu.Lock()
 	defer sj.mu.Unlock()
@@ -138,6 +160,8 @@ func (sj *sweepJob) view() sweepView {
 		ID:          sj.id,
 		Name:        sj.name,
 		State:       string(sj.state),
+		Class:       classNames[classBatch],
+		Tenant:      sj.tenant,
 		Fingerprint: sj.fingerprint,
 		Progress:    sj.progress(),
 		Points:      len(sj.points),
@@ -167,8 +191,13 @@ func (sj *sweepJob) finish(state State, errMsg string) {
 	}
 	sj.cond.Broadcast()
 	sj.mu.Unlock()
-	if !closed && sj.stream != nil {
-		sj.stream.Close(string(state))
+	if !closed {
+		if sj.stream != nil {
+			sj.stream.Close(string(state))
+		}
+		if sj.tenantRef != nil {
+			sj.tenantRef.release()
+		}
 	}
 }
 
@@ -262,16 +291,36 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
-	if s.opts.Coordinator != nil {
-		s.submitClusterSweep(w, spec)
+	tenant := s.tenantFrom(r)
+	if !s.chargeTenant(w, tenant) {
 		return
 	}
+	if s.opts.Coordinator != nil {
+		s.submitClusterSweep(w, spec, tenant)
+		return
+	}
+	// Every grid point borrows a worker slot through the fair-share
+	// scheduler at batch priority before simulating, so a 10k-point sweep
+	// shares the same arbiter as interactive jobs instead of
+	// oversubscribing the host from its private pool. Cache hits inside
+	// the engine's single-flight never reach these wrappers.
 	eng, err := sweep.New(spec, sweep.Options{
-		Run:     sweep.RunFunc(s.opts.Run),
-		RunTier: sweep.TierRunFunc(s.opts.RunTier),
-		Cache:   s.cache,
+		Run: func(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
+			release := s.acquireSlot(ctx, tenant, classBatch)
+			defer release()
+			return s.opts.Run(ctx, cfg, benchmarks)
+		},
+		RunTier: func(ctx context.Context, tier string, cfg config.Config, benchmarks []string) (system.Results, error) {
+			release := s.acquireSlot(ctx, tenant, classBatch)
+			defer release()
+			return s.opts.RunTier(ctx, tier, cfg, benchmarks)
+		},
+		Cache: s.cache,
 	})
 	if err != nil {
+		if tenant != nil {
+			tenant.release()
+		}
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
 	}
@@ -279,6 +328,9 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		if tenant != nil {
+			tenant.release()
+		}
 		writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "server is shutting down")
 		return
 	}
@@ -287,18 +339,24 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.mu.Unlock()
 		cancel()
+		if tenant != nil {
+			tenant.release()
+		}
 		writeError(w, http.StatusInternalServerError, codeInternal, "starting sweep: %v", err)
 		return
 	}
 	s.nextSweepID++
 	id := fmt.Sprintf("sweep-%d", s.nextSweepID)
 	sj := newSweepJob(id, spec, eng.Total(), eng.Progress, cancel, s.hub.Open(id))
+	sj.setTenant(tenant)
 	s.sweeps[sj.id] = sj
 	s.sweepWG.Add(1)
 	s.mu.Unlock()
 
 	s.metrics.SweepsAccepted.Inc()
-	s.log.Info("sweep accepted", "sweep_id", sj.id, "name", sj.name, "points", eng.Total())
+	s.countAccepted(tenant)
+	s.log.Info("sweep accepted", "sweep_id", sj.id, "name", sj.name,
+		"points", eng.Total(), "tenant", sj.tenant)
 	go s.drainSweep(sj, ctx, ch)
 	writeJSON(w, http.StatusAccepted, sj.view())
 }
@@ -308,18 +366,30 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 // When journaling is configured the run checkpoints to a per-fingerprint
 // journal, so a restarted coordinator resubmitting the same sweep replays
 // finished points and leases out only the remainder.
-func (s *Server) submitClusterSweep(w http.ResponseWriter, spec sweep.Spec) {
+func (s *Server) submitClusterSweep(w http.ResponseWriter, spec sweep.Spec, tenant *Tenant) {
 	if s.opts.JournalDir != "" {
 		spec.Journal = filepath.Join(s.opts.JournalDir, "sweep-"+shortFP(spec.Fingerprint())+".ndjson")
 	}
 	run, err := s.opts.Coordinator.NewRun(spec)
 	if err != nil {
+		if tenant != nil {
+			tenant.release()
+		}
 		writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
 		return
+	}
+	// Tenant identity rides the leases to the workers: every lease minted
+	// for this run carries the owner's name, so worker-side telemetry and
+	// journals attribute the points correctly.
+	if tenant != nil {
+		run.Tenant = tenant.Name
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		if tenant != nil {
+			tenant.release()
+		}
 		writeError(w, http.StatusServiceUnavailable, codeShuttingDown, "server is shutting down")
 		return
 	}
@@ -327,13 +397,15 @@ func (s *Server) submitClusterSweep(w http.ResponseWriter, spec sweep.Spec) {
 	s.nextSweepID++
 	id := fmt.Sprintf("sweep-%d", s.nextSweepID)
 	sj := newSweepJob(id, spec, run.Total(), run.Progress, cancel, s.hub.Open(id))
+	sj.setTenant(tenant)
 	s.sweeps[sj.id] = sj
 	s.sweepWG.Add(1)
 	s.mu.Unlock()
 
 	s.metrics.SweepsAccepted.Inc()
+	s.countAccepted(tenant)
 	s.log.Info("cluster sweep accepted", "sweep_id", sj.id, "name", sj.name,
-		"points", run.Total(), "journal", spec.Journal)
+		"points", run.Total(), "journal", spec.Journal, "tenant", sj.tenant)
 	go s.driveClusterSweep(sj, ctx, run)
 	writeJSON(w, http.StatusAccepted, sj.view())
 }
@@ -431,9 +503,8 @@ func (s *Server) activeSweeps() int {
 }
 
 func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
-	sj := s.lookupSweep(r.PathValue("id"))
+	sj := s.authorizeSweep(w, r)
 	if sj == nil {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such sweep")
 		return
 	}
 	writeJSON(w, http.StatusOK, sj.view())
@@ -445,9 +516,8 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 // tails new points until the sweep reaches a terminal state or the client
 // disconnects.
 func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
-	sj := s.lookupSweep(r.PathValue("id"))
+	sj := s.authorizeSweep(w, r)
 	if sj == nil {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such sweep")
 		return
 	}
 	follow := r.URL.Query().Get("follow") == "1"
@@ -493,9 +563,8 @@ func (s *Server) handleSweepResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
-	sj := s.lookupSweep(r.PathValue("id"))
+	sj := s.authorizeSweep(w, r)
 	if sj == nil {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such sweep")
 		return
 	}
 	sj.cancel()

@@ -46,18 +46,16 @@ func (j *job) closeStream(state State) {
 }
 
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.authorizeJob(w, r)
 	if j == nil {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	s.serveSSE(w, r, j.stream)
 }
 
 func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
-	sj := s.lookupSweep(r.PathValue("id"))
+	sj := s.authorizeSweep(w, r)
 	if sj == nil {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such sweep")
 		return
 	}
 	s.serveSSE(w, r, sj.stream)
@@ -68,9 +66,8 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 // last published state, and the stream counters. Cheap to poll — one
 // lock-scoped copy, no subscription.
 func (s *Server) handleJobStats(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.authorizeJob(w, r)
 	if j == nil {
-		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	window := 0

@@ -1,0 +1,150 @@
+package simserver
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTenants(t *testing.T) {
+	keyfile := `
+# fleet tenants
+acme   key-acme   weight=3 rate=2 burst=4 max_active=5
+globex key-globex
+`
+	ts, err := ParseTenants(strings.NewReader(keyfile))
+	if err != nil {
+		t.Fatalf("ParseTenants: %v", err)
+	}
+	if !ts.Enabled() {
+		t.Fatal("set with tenants should be Enabled")
+	}
+	if got := ts.Names(); len(got) != 2 || got[0] != "acme" || got[1] != "globex" {
+		t.Fatalf("Names() = %v, want [acme globex]", got)
+	}
+	acme := ts.Lookup("key-acme")
+	if acme == nil || acme.Name != "acme" {
+		t.Fatalf("Lookup(key-acme) = %+v", acme)
+	}
+	if acme.Weight != 3 || acme.Rate != 2 || acme.Burst != 4 || acme.MaxActive != 5 {
+		t.Fatalf("acme options = %+v", acme)
+	}
+	globex := ts.ByName("globex")
+	if globex == nil || globex.weight() != 1 {
+		t.Fatalf("globex default weight = %+v", globex)
+	}
+	if ts.Lookup("nope") != nil {
+		t.Fatal("unknown key should resolve to nil")
+	}
+}
+
+func TestParseTenantsErrors(t *testing.T) {
+	cases := []struct {
+		name, keyfile, wantSub string
+	}{
+		{"missing key", "acme\n", "want \"<name> <key>"},
+		{"bad name", "bad.name key1\n", "invalid tenant name"},
+		{"dup name", "acme k1\nacme k2\n", "duplicate tenant name"},
+		{"dup key", "a k1\nb k1\n", "duplicate key"},
+		{"bad option", "a k1 weight=zero\n", "option \"weight=zero\""},
+		{"zero weight", "a k1 weight=0\n", "must be >= 1"},
+		{"unknown option", "a k1 turbo=1\n", "unknown option"},
+		{"malformed option", "a k1 weight\n", "malformed option"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTenants(strings.NewReader(tc.keyfile))
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestTenantSetDisabled(t *testing.T) {
+	var nilSet *TenantSet
+	if nilSet.Enabled() {
+		t.Fatal("nil set must be disabled")
+	}
+	if nilSet.Lookup("k") != nil || nilSet.ByName("n") != nil || nilSet.Names() != nil {
+		t.Fatal("nil set lookups must return zero values")
+	}
+	empty, err := ParseTenants(strings.NewReader("# only comments\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Enabled() {
+		t.Fatal("empty keyfile must leave auth disabled")
+	}
+}
+
+// TestTenantBucket drives the token bucket with a synthetic clock: burst
+// drains, sustained rate refills, and the Retry-After hint is sane.
+func TestTenantBucket(t *testing.T) {
+	tn := &Tenant{Name: "a", Rate: 2, Burst: 3}
+	now := time.Unix(1000, 0)
+
+	// First call fills to burst capacity; 3 submissions pass back-to-back.
+	for i := 0; i < 3; i++ {
+		if v := tn.admitOne(now); !v.ok {
+			t.Fatalf("burst submission %d rejected: %+v", i, v)
+		}
+	}
+	v := tn.admitOne(now)
+	if v.ok || v.code != codeRateLimited {
+		t.Fatalf("4th immediate submission: %+v, want rate_limited", v)
+	}
+	if v.retryAfter < time.Second {
+		t.Fatalf("retryAfter = %v, want >= 1s", v.retryAfter)
+	}
+
+	// 500ms refills one token at rate=2.
+	now = now.Add(500 * time.Millisecond)
+	if v := tn.admitOne(now); !v.ok {
+		t.Fatalf("after refill: %+v", v)
+	}
+	if v := tn.admitOne(now); v.ok {
+		t.Fatalf("bucket should be dry again: %+v", v)
+	}
+
+	// Long idle refills only to burst cap, never beyond.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if v := tn.admitOne(now); !v.ok {
+			t.Fatalf("post-idle submission %d rejected: %+v", i, v)
+		}
+	}
+	if v := tn.admitOne(now); v.ok {
+		t.Fatal("bucket must cap at burst, not bank an hour of tokens")
+	}
+}
+
+// TestTenantQuota checks MaxActive gating and that quota rejections are
+// checked before the bucket (they must not burn a token).
+func TestTenantQuota(t *testing.T) {
+	tn := &Tenant{Name: "a", Rate: 1, Burst: 1, MaxActive: 2}
+	now := time.Unix(2000, 0)
+
+	if v := tn.admitOne(now); !v.ok {
+		t.Fatalf("first admit: %+v", v)
+	}
+	now = now.Add(time.Second)
+	if v := tn.admitOne(now); !v.ok {
+		t.Fatalf("second admit: %+v", v)
+	}
+	now = now.Add(time.Second)
+	v := tn.admitOne(now)
+	if v.ok || v.code != codeQuotaExceeded {
+		t.Fatalf("over-quota admit: %+v, want quota_exceeded", v)
+	}
+	if tn.activeCount() != 2 {
+		t.Fatalf("activeCount = %d, want 2", tn.activeCount())
+	}
+
+	// The quota rejection above must not have consumed the token that
+	// accrued: release one slot and the next admit passes immediately.
+	tn.release()
+	if v := tn.admitOne(now); !v.ok {
+		t.Fatalf("admit after release: %+v (quota rejection burned a token?)", v)
+	}
+}

@@ -1,0 +1,251 @@
+package fbdclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fbdsim/internal/retry"
+	"fbdsim/internal/sweep"
+)
+
+func testClient(ts *httptest.Server) *Client {
+	return &Client{
+		BaseURL: ts.URL,
+		// No jitter and tiny backoff so retry tests are fast and
+		// deterministic.
+		Retry: retry.Policy{Initial: time.Millisecond, Max: 5 * time.Millisecond},
+	}
+}
+
+func TestErrorEnvelopeDecoding(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error": {"code": "not_found", "message": "no such job"}}`)
+	}))
+	defer ts.Close()
+
+	_, err := testClient(ts).Job(context.Background(), "job-1")
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *fbdclient.Error", err)
+	}
+	if apiErr.Status != 404 || apiErr.Code != "not_found" || apiErr.Message != "no such job" {
+		t.Fatalf("decoded error = %+v", apiErr)
+	}
+	if apiErr.IsRetryable() {
+		t.Fatal("404 must not be retryable")
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error": {"code": "rate_limited", "message": "slow down"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"id": "job-1", "key": "k", "state": "queued", "class": "cycle-accurate"}`)
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	j, err := testClient(ts).SubmitJob(context.Background(), SubmitJobRequest{Benchmarks: []string{"swim"}})
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	if j.ID != "job-1" {
+		t.Fatalf("job = %+v", j)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+	// The client must wait out the server's Retry-After hint (1s), not
+	// its own millisecond backoff.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v, want >= 1s (Retry-After ignored)", elapsed)
+	}
+}
+
+func TestRetryGivesUpOnNonRetryable(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error": {"code": "bad_request", "message": "nope"}}`)
+	}))
+	defer ts.Close()
+
+	_, err := testClient(ts).Job(context.Background(), "job-1")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (400 must not retry)", got)
+	}
+}
+
+func TestAPIKeyHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("Authorization"))
+		fmt.Fprint(w, `{"jobs": []}`)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts)
+	c.APIKey = "key-acme"
+	if _, err := c.Jobs(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "Bearer key-acme" {
+		t.Fatalf("Authorization = %q, want Bearer key-acme", got.Load())
+	}
+}
+
+// TestEventsResume: the stream drops mid-flight; the client reconnects
+// with Last-Event-ID and sees every event exactly once.
+func TestEventsResume(t *testing.T) {
+	var conns atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch n {
+		case 1:
+			if r.Header.Get("Last-Event-ID") != "" {
+				t.Errorf("first connect carries Last-Event-ID %q", r.Header.Get("Last-Event-ID"))
+			}
+			// Two events, then the connection dies without "end".
+			fmt.Fprint(w, "id: 1\nevent: state\ndata: {\"state\":\"queued\"}\n\n")
+			fmt.Fprint(w, "id: 2\nevent: state\ndata: {\"state\":\"running\"}\n\n")
+		default:
+			if got := r.Header.Get("Last-Event-ID"); got != "2" {
+				t.Errorf("resume carries Last-Event-ID %q, want 2", got)
+			}
+			fmt.Fprint(w, "id: 3\nevent: state\ndata: {\"state\":\"done\"}\n\n")
+			fmt.Fprint(w, "id: 4\nevent: end\ndata: {}\n\n")
+		}
+	}))
+	defer ts.Close()
+
+	var events []Event
+	err := testClient(ts).JobEvents(context.Background(), "job-1", 0, func(ev Event) error {
+		events = append(events, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("JobEvents: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("saw %d events, want 4: %+v", len(events), events)
+	}
+	for i, ev := range events {
+		if ev.ID != int64(i+1) {
+			t.Fatalf("event %d has id %d (duplicate or dropped): %+v", i, ev.ID, events)
+		}
+	}
+	if events[3].Type != "end" {
+		t.Fatalf("last event = %+v, want end", events[3])
+	}
+}
+
+// TestEventsStop: a callback returning StopStream ends the subscription
+// cleanly.
+func TestEventsStop(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "id: 1\nevent: state\ndata: {}\n\n")
+		fmt.Fprint(w, "id: 2\nevent: state\ndata: {}\n\n")
+	}))
+	defer ts.Close()
+
+	n := 0
+	err := testClient(ts).JobEvents(context.Background(), "job-1", 0, func(ev Event) error {
+		n++
+		return StopStream
+	})
+	if err != nil {
+		t.Fatalf("JobEvents: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("callback ran %d times, want 1", n)
+	}
+}
+
+func TestEventsComplete204(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+
+	err := testClient(ts).JobEvents(context.Background(), "job-1", 7, func(Event) error {
+		t.Fatal("no events expected on a complete stream")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("JobEvents on complete stream: %v", err)
+	}
+}
+
+func TestClusterProtocol(t *testing.T) {
+	known := atomic.Bool{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/cluster/join":
+			known.Store(true)
+			fmt.Fprint(w, `{"heartbeat_ms": 50, "lease_ttl_ms": 1000}`)
+		case "/v1/cluster/heartbeat":
+			if !known.Load() {
+				w.WriteHeader(http.StatusNotFound)
+				fmt.Fprint(w, `{"error": {"code": "not_found", "message": "unknown worker"}}`)
+				return
+			}
+			fmt.Fprint(w, `{}`)
+		case "/v1/cluster/execute":
+			fmt.Fprint(w, `{"key": "p1", "label": "c/w"}`+"\n")
+			fmt.Fprint(w, `{"key": "p2", "label": "c/w2"}`+"\n")
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+	}))
+	defer ts.Close()
+
+	c := testClient(ts)
+	c.MaxAttempts = 1
+	ctx := context.Background()
+
+	// Heartbeat before join: 404 surfaces as a typed error.
+	err := c.Heartbeat(ctx, "w1")
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("pre-join heartbeat err = %v, want 404 *Error", err)
+	}
+
+	jr, err := c.Join(ctx, JoinRequest{ID: "w1", URL: "http://w1"})
+	if err != nil || jr.HeartbeatMS != 50 {
+		t.Fatalf("Join = %+v, %v", jr, err)
+	}
+	if err := c.Heartbeat(ctx, "w1"); err != nil {
+		t.Fatalf("post-join heartbeat: %v", err)
+	}
+
+	var points []sweep.Point
+	err = c.ExecuteLease(ctx, Lease{ID: "lease-1"}, func(p sweep.Point) {
+		points = append(points, p)
+	})
+	if err != nil {
+		t.Fatalf("ExecuteLease: %v", err)
+	}
+	if len(points) != 2 || points[0].Key != "p1" || points[1].Key != "p2" {
+		t.Fatalf("streamed points = %+v", points)
+	}
+}

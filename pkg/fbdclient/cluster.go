@@ -1,0 +1,84 @@
+package fbdclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"fbdsim/internal/sweep"
+)
+
+// The cluster protocol methods: a worker agent joins and heartbeats a
+// coordinator (BaseURL = the coordinator), and the coordinator dispatches
+// leases to workers (BaseURL = the worker's advertised URL). In
+// multi-tenant deployments both directions authenticate with the shared
+// cluster secret (APIKey = the -cluster-key value), never a tenant key.
+
+// Join registers a worker with the coordinator (POST /v1/cluster/join)
+// and returns the coordinator's expectations.
+func (c *Client) Join(ctx context.Context, req JoinRequest) (*JoinResponse, error) {
+	var jr JoinResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/cluster/join", req, &jr); err != nil {
+		return nil, err
+	}
+	return &jr, nil
+}
+
+// Heartbeat reports worker liveness (POST /v1/cluster/heartbeat). A
+// *Error with Status 404 means the coordinator does not recognize the
+// worker (it restarted or evicted us) — the caller should re-join.
+func (c *Client) Heartbeat(ctx context.Context, workerID string) error {
+	return c.do(ctx, http.MethodPost, "/v1/cluster/heartbeat", HeartbeatRequest{ID: workerID}, nil)
+}
+
+// ClusterStatus is the GET /v1/cluster body: the node's role, its
+// worker-side lease counters, and — on a coordinator — the membership
+// table and failure counters.
+type ClusterStatus struct {
+	Role        string       `json:"role"`
+	LiveWorkers int          `json:"live_workers"`
+	Workers     []WorkerInfo `json:"workers,omitempty"`
+	Counters    *Counters    `json:"counters,omitempty"`
+	// LeasesExecuted / LeasePoints are the node's worker-side counters:
+	// leases accepted by /v1/cluster/execute and points answered.
+	LeasesExecuted int64 `json:"leases_executed"`
+	LeasePoints    int64 `json:"lease_points"`
+}
+
+// Cluster fetches the node's cluster view (GET /v1/cluster).
+func (c *Client) Cluster(ctx context.Context) (*ClusterStatus, error) {
+	var v ClusterStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// ExecuteLease dispatches one lease to the worker at BaseURL
+// (POST /v1/cluster/execute) and streams the delivered points to commit
+// as their NDJSON lines arrive, so a stream severed mid-lease still
+// commits its delivered prefix. It never retries internally: commit has
+// side effects, and lease re-issue is the coordinator's failure model.
+func (c *Client) ExecuteLease(ctx context.Context, lease Lease, commit func(sweep.Point)) error {
+	body, err := json.Marshal(lease)
+	if err != nil {
+		return fmt.Errorf("fbdclient: encode lease: %w", err)
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/cluster/execute", body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return decodeNDJSON(resp.Body, func(p sweep.Point) error {
+		commit(p)
+		return nil
+	})
+}

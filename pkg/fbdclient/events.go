@@ -1,0 +1,146 @@
+package fbdclient
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Event is one server-sent event from a job or sweep telemetry stream.
+type Event struct {
+	// ID is the stream sequence number (the SSE id: field); feed it back
+	// as lastEventID to resume without loss or duplication.
+	ID int64
+	// Type is the SSE event: field — "state", "sample" or "end".
+	Type string
+	// Data is the event's JSON payload.
+	Data string
+}
+
+// StopStream is the sentinel a JobEvents/SweepEvents callback returns to
+// end the subscription cleanly; the method then returns nil.
+var StopStream = errors.New("fbdclient: stream stopped by caller")
+
+// JobEvents subscribes to a job's SSE telemetry (GET /v1/jobs/{id}/events)
+// and invokes fn per event. The subscription survives connection loss:
+// each reconnect resumes from the last delivered event via the
+// Last-Event-ID header, so fn sees every event exactly once. It returns
+// nil when the stream is complete (the server answers 204 to a resume
+// past the terminal event), StopStream semantics when fn asks to stop, or
+// the first non-retryable error.
+//
+// lastEventID resumes from a prior subscription (0 starts from the
+// beginning of the retained window).
+func (c *Client) JobEvents(ctx context.Context, id string, lastEventID int64, fn func(Event) error) error {
+	return c.events(ctx, "/v1/jobs/"+url.PathEscape(id)+"/events", lastEventID, fn)
+}
+
+// SweepEvents is JobEvents for a sweep's stream (GET /v1/sweeps/{id}/events).
+func (c *Client) SweepEvents(ctx context.Context, id string, lastEventID int64, fn func(Event) error) error {
+	return c.events(ctx, "/v1/sweeps/"+url.PathEscape(id)+"/events", lastEventID, fn)
+}
+
+func (c *Client) events(ctx context.Context, path string, after int64, fn func(Event) error) error {
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		done, err := c.eventsOnce(ctx, path, &after, fn)
+		switch {
+		case done:
+			return nil
+		case errors.Is(err, StopStream):
+			return nil
+		case err == nil:
+			// Connection ended without the terminal event: reconnect
+			// and resume from `after`.
+			attempt++
+		default:
+			var apiErr *Error
+			if errors.As(err, &apiErr) && !apiErr.IsRetryable() {
+				return err
+			}
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			attempt++
+		}
+		if err := c.Retry.Sleep(ctx, attempt); err != nil {
+			return err
+		}
+	}
+}
+
+// eventsOnce runs one SSE connection, advancing *after per delivered
+// event. done=true means the stream is complete (204: nothing follows).
+func (c *Client) eventsOnce(ctx context.Context, path string, after *int64, fn func(Event) error) (done bool, err error) {
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *after > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(*after, 10))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer drainClose(resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		return true, nil
+	case resp.StatusCode != http.StatusOK:
+		return false, decodeError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var ev Event
+	var data []string
+	flush := func() (terminal bool, err error) {
+		if ev.Type == "" && len(data) == 0 {
+			ev = Event{}
+			return false, nil
+		}
+		ev.Data = strings.Join(data, "\n")
+		err = fn(ev)
+		if ev.ID > *after {
+			*after = ev.ID
+		}
+		terminal = ev.Type == "end"
+		ev, data = Event{}, nil
+		return terminal, err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			terminal, ferr := flush()
+			if ferr != nil {
+				return false, ferr
+			}
+			if terminal {
+				return true, nil
+			}
+		case strings.HasPrefix(line, "id:"):
+			ev.ID, _ = strconv.ParseInt(strings.TrimSpace(line[3:]), 10, 64)
+		case strings.HasPrefix(line, "event:"):
+			ev.Type = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		case strings.HasPrefix(line, ":"):
+			// Comment / keep-alive; ignore.
+		}
+	}
+	// Scanner stopped: connection loss (resume) unless the context ended.
+	if ctx.Err() != nil {
+		return false, ctx.Err()
+	}
+	return false, nil
+}

@@ -1,0 +1,52 @@
+package fbdclient_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"fbdsim/internal/config"
+	"fbdsim/internal/simserver"
+	"fbdsim/internal/system"
+	"fbdsim/pkg/fbdclient"
+)
+
+// Example submits a job to an in-process fbdserve and waits for its
+// result. Against a real deployment, point BaseURL at the server and set
+// APIKey to your tenant key; everything else is identical.
+func Example() {
+	// An in-process server with a stub simulation keeps the example
+	// deterministic; drop the Run override to simulate for real.
+	sim := simserver.New(simserver.Options{
+		Workers: 1,
+		Run: func(ctx context.Context, cfg config.Config, benchmarks []string) (system.Results, error) {
+			return system.Results{Benchmarks: benchmarks, Cores: 1, IPC: []float64{0.42}}, nil
+		},
+	})
+	ts := httptest.NewServer(sim.Handler())
+	defer ts.Close()
+
+	client := &fbdclient.Client{
+		BaseURL: ts.URL,
+		APIKey:  "", // tenant key in multi-tenant deployments
+	}
+
+	ctx := context.Background()
+	job, err := client.SubmitJob(ctx, fbdclient.SubmitJobRequest{
+		Preset:     "fbd-ap",
+		Benchmarks: []string{"swim"},
+		Seed:       1,
+	})
+	if err != nil {
+		fmt.Println("submit:", err)
+		return
+	}
+
+	done, err := client.WaitJob(ctx, job.ID, 0) // 0: default poll interval
+	if err != nil {
+		fmt.Println("wait:", err)
+		return
+	}
+	fmt.Printf("state=%s class=%s ipc=%.2f\n", done.State, done.Class, done.TotalIPC)
+	// Output: state=done class=cycle-accurate ipc=0.42
+}

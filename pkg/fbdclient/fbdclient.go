@@ -1,0 +1,224 @@
+// Package fbdclient is the typed Go client for the fbdserve HTTP API —
+// the programmatic face of the contract committed at api/openapi.yaml.
+// Every /v1 wire shape a client touches is defined here (job and sweep
+// views, the error envelope, the cluster lease protocol), and the server's
+// own distributed components are built on this package: the cluster
+// coordinator dispatches leases and the worker agent joins and heartbeats
+// through a Client, so the client and server can never drift apart without
+// the tree failing to compile.
+//
+// The zero-configuration path is two lines:
+//
+//	c := &fbdclient.Client{BaseURL: "http://localhost:8077"}
+//	job, err := c.SubmitJob(ctx, fbdclient.SubmitJobRequest{Benchmarks: []string{"swim"}})
+//
+// Transient failures (connection errors, 5xx, 429) are retried with capped
+// exponential backoff; a Retry-After header on 429/503 overrides the
+// backoff so a rate-limited tenant waits exactly as long as the server
+// asks. Server-sent event streams resume across reconnects via
+// Last-Event-ID, so no lifecycle event is ever dropped or duplicated.
+package fbdclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fbdsim/internal/retry"
+)
+
+// Client talks to one fbdserve base URL. The zero value is not usable:
+// BaseURL is required. All other fields are optional.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8077".
+	BaseURL string
+	// APIKey, when set, is sent as "Authorization: Bearer <APIKey>" on
+	// every request: a tenant key from the server's keyfile for the /v1
+	// job and sweep endpoints, or the shared cluster secret for the
+	// /v1/cluster machine endpoints. Leave empty against an open-access
+	// server.
+	APIKey string
+	// HTTPClient overrides the transport (nil: a shared default with no
+	// timeout — streams legitimately run for minutes; per-request
+	// lifetime is governed by the context).
+	HTTPClient *http.Client
+	// Retry backs off transient failures between attempts (zero value:
+	// 100ms doubling to 2s, full jitter). A Retry-After header on a 429
+	// or 503 response overrides the computed backoff.
+	Retry retry.Policy
+	// MaxAttempts caps tries per request (default 4; 1 disables
+	// retries). Streaming calls never retry internally — resuming is the
+	// caller's (or Events') job.
+	MaxAttempts int
+}
+
+// sharedClient is the default transport: no client timeout, because SSE
+// and NDJSON streams are long-lived; contexts bound each call.
+var sharedClient = &http.Client{}
+
+// Error is a non-2xx API response: the HTTP status plus the decoded
+// error envelope ({"error":{"code","message"}}) every fbdserve error
+// returns. Code is one of the stable identifiers from the OpenAPI spec
+// (bad_request, not_found, unauthorized, forbidden, rate_limited,
+// quota_exceeded, queue_full, conflict, shutting_down, internal).
+type Error struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration // parsed Retry-After hint; 0 if absent
+}
+
+func (e *Error) Error() string {
+	if e.Code == "" {
+		return fmt.Sprintf("fbdclient: HTTP %d", e.Status)
+	}
+	return fmt.Sprintf("fbdclient: HTTP %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// IsRetryable reports whether the error is worth retrying: rate limiting,
+// queue saturation, and server-side 5xx.
+func (e *Error) IsRetryable() bool {
+	return e.Status == http.StatusTooManyRequests ||
+		e.Status == http.StatusServiceUnavailable ||
+		e.Status == http.StatusBadGateway ||
+		e.Status == http.StatusGatewayTimeout ||
+		e.Status == http.StatusInternalServerError
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return sharedClient
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 4
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + path
+}
+
+// newRequest builds one authenticated request with an optional JSON body.
+func (c *Client) newRequest(ctx context.Context, method, path string, body []byte) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.url(path), rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	return req, nil
+}
+
+// decodeError turns a non-2xx response into *Error, consuming the body.
+func decodeError(resp *http.Response) *Error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	e := &Error{Status: resp.StatusCode}
+	var env ErrorEnvelope
+	if json.Unmarshal(raw, &env) == nil && env.Error.Code != "" {
+		e.Code = env.Error.Code
+		e.Message = env.Error.Message
+	} else {
+		e.Message = string(bytes.TrimSpace(raw))
+	}
+	if h := resp.Header.Get("Retry-After"); h != "" {
+		if secs, err := strconv.Atoi(h); err == nil && secs > 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// do runs one JSON request/response exchange with retries. in (when
+// non-nil) is marshalled once and replayed per attempt; a 2xx body is
+// decoded into out (when non-nil). wantStatus of 0 accepts any 2xx.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("fbdclient: encode request: %w", err)
+		}
+	}
+	var last error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		last = c.once(ctx, method, path, body, out)
+		if last == nil {
+			return nil
+		}
+		var apiErr *Error
+		retriable := !errors.As(last, &apiErr) || apiErr.IsRetryable()
+		if !retriable || attempt >= c.maxAttempts() {
+			return last
+		}
+		// Honor the server's Retry-After verbatim; fall back to the
+		// backoff policy when the server gave no hint.
+		if apiErr != nil && apiErr.RetryAfter > 0 {
+			if err := sleepCtx(ctx, apiErr.RetryAfter); err != nil {
+				return err
+			}
+		} else if err := c.Retry.Sleep(ctx, attempt); err != nil {
+			return err
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	req, err := c.newRequest(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(out); err != nil {
+			return fmt.Errorf("fbdclient: decode %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// drainClose consumes a bounded remainder so the connection is reusable.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<16))
+	_ = body.Close()
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

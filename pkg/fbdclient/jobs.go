@@ -1,0 +1,165 @@
+package fbdclient
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"fbdsim/internal/sweep"
+)
+
+// SubmitJob submits one simulation job (POST /v1/jobs). The returned view
+// is the accepted job in its initial state; poll with Job or subscribe
+// with JobEvents for progress.
+func (c *Client) SubmitJob(ctx context.Context, req SubmitJobRequest) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Job fetches one job's current view (GET /v1/jobs/{id}).
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Jobs lists the caller's jobs (GET /v1/jobs) — in multi-tenant mode,
+// only those owned by the authenticated tenant.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var l JobList
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &l); err != nil {
+		return nil, err
+	}
+	return l.Jobs, nil
+}
+
+// CancelJob cancels one job (DELETE /v1/jobs/{id}) and returns its final
+// view.
+func (c *Client) CancelJob(ctx context.Context, id string) (*Job, error) {
+	var j Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+url.PathEscape(id), nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// WaitJob polls until the job reaches a terminal state (done, failed,
+// cancelled or paused) or ctx ends. pollEvery <= 0 defaults to 250ms.
+func (c *Client) WaitJob(ctx context.Context, id string, pollEvery time.Duration) (*Job, error) {
+	if pollEvery <= 0 {
+		pollEvery = 250 * time.Millisecond
+	}
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.Terminal() {
+			return j, nil
+		}
+		if err := sleepCtx(ctx, pollEvery); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// SubmitSweep submits a parameter sweep (POST /v1/sweeps).
+func (c *Client) SubmitSweep(ctx context.Context, req SubmitSweepRequest) (*Sweep, error) {
+	var s Sweep
+	if err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Sweep fetches one sweep's current view (GET /v1/sweeps/{id}).
+func (c *Client) Sweep(ctx context.Context, id string) (*Sweep, error) {
+	var s Sweep
+	if err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+url.PathEscape(id), nil, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// CancelSweep cancels one sweep (DELETE /v1/sweeps/{id}).
+func (c *Client) CancelSweep(ctx context.Context, id string) (*Sweep, error) {
+	var s Sweep
+	if err := c.do(ctx, http.MethodDelete, "/v1/sweeps/"+url.PathEscape(id), nil, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// SweepResults streams a sweep's grid points (GET /v1/sweeps/{id}/results,
+// NDJSON), invoking fn per point as each line arrives. With follow=true
+// the stream stays open until the sweep finishes. A non-nil error from fn
+// aborts the stream and is returned.
+func (c *Client) SweepResults(ctx context.Context, id string, follow bool, fn func(sweep.Point) error) error {
+	path := "/v1/sweeps/" + url.PathEscape(id) + "/results"
+	if follow {
+		path += "?follow=1"
+	}
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return decodeNDJSON(resp.Body, fn)
+}
+
+// Version fetches the server's build identity (GET /v1/version).
+func (c *Client) Version(ctx context.Context) (*VersionInfo, error) {
+	var v VersionInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/version", nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// decodeNDJSON feeds each newline-delimited JSON record to fn. A trailing
+// line without its newline means the peer died mid-record: that is an
+// error, never a half-parsed point.
+func decodeNDJSON(r io.Reader, fn func(sweep.Point) error) error {
+	br := bufio.NewReader(r)
+	for {
+		line, err := br.ReadBytes('\n')
+		if errors.Is(err, io.EOF) {
+			if len(bytes.TrimSpace(line)) > 0 {
+				return fmt.Errorf("fbdclient: stream ended mid-record")
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("fbdclient: read point stream: %w", err)
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var p sweep.Point
+		if uerr := json.Unmarshal(line, &p); uerr != nil {
+			return fmt.Errorf("fbdclient: corrupt point record: %w", uerr)
+		}
+		if ferr := fn(p); ferr != nil {
+			return ferr
+		}
+	}
+}

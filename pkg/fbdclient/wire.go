@@ -1,0 +1,233 @@
+package fbdclient
+
+import (
+	"encoding/json"
+	"time"
+
+	"fbdsim/internal/sweep"
+	"fbdsim/internal/system"
+)
+
+// This file defines every wire shape the client exchanges with fbdserve.
+// The shapes mirror api/openapi.yaml; the cluster protocol types live here
+// (not in internal/cluster) so the coordinator, the worker agent and any
+// external tool all compile against one definition.
+
+// ErrorBody is the inner object of the uniform error envelope.
+type ErrorBody struct {
+	// Code is the stable, machine-readable error identifier.
+	Code string `json:"code"`
+	// Message is the human-readable detail; its wording is not part of
+	// the contract.
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the body of every non-2xx /v1 response:
+// {"error": {"code": ..., "message": ...}}.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// SubmitJobRequest is the POST /v1/jobs body.
+type SubmitJobRequest struct {
+	// Preset names a base configuration: ddr2, fbd (default), fbd-ap,
+	// fbd-apfl.
+	Preset string `json:"preset,omitempty"`
+	// Config optionally overrides preset fields.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Benchmarks is the per-core program list (required).
+	Benchmarks []string `json:"benchmarks"`
+	Seed       int64    `json:"seed,omitempty"`
+	MaxInsts   int64    `json:"max_insts,omitempty"`
+	Warmup     int64    `json:"warmup_insts,omitempty"`
+	// Trace enables the memtrace recorder (cycle-accurate jobs only).
+	Trace bool `json:"trace,omitempty"`
+	// Fidelity selects the simulation tier: "cycle-accurate" (or "",
+	// the default), "sampled" or "analytic".
+	Fidelity string `json:"fidelity,omitempty"`
+	// Retries requests transient-failure retries, capped by the server.
+	Retries int `json:"retries,omitempty"`
+	// FromCheckpoint resumes a paused job's snapshot instead of starting
+	// at cycle zero.
+	FromCheckpoint string `json:"from_checkpoint,omitempty"`
+}
+
+// Job is the job view returned by the /v1/jobs endpoints.
+type Job struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State string `json:"state"`
+	// Class is the scheduler priority class: "analytic", "sampled",
+	// "cycle-accurate" or "batch".
+	Class string `json:"class"`
+	// Tenant is the owning principal's keyfile name; absent in
+	// open-access mode.
+	Tenant     string   `json:"tenant,omitempty"`
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Fidelity   string   `json:"fidelity,omitempty"`
+	TotalIPC   float64  `json:"total_ipc,omitempty"`
+	IPCCI95    float64  `json:"ipc_ci95,omitempty"`
+	Coalesced  bool     `json:"coalesced,omitempty"`
+	Cached     bool     `json:"cached,omitempty"`
+	Attempts   int      `json:"attempts,omitempty"`
+	WallMS     float64  `json:"wall_ms,omitempty"`
+	// SimCyclesPerSec is the completed job's simulation throughput.
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+	// CheckpointBytes is the size of a paused job's snapshot artifact.
+	CheckpointBytes int             `json:"checkpoint_bytes,omitempty"`
+	Error           string          `json:"error,omitempty"`
+	Results         *system.Results `json:"results,omitempty"`
+}
+
+// Terminal reports whether the job reached a final state.
+func (j *Job) Terminal() bool {
+	switch j.State {
+	case "done", "failed", "cancelled", "paused":
+		return true
+	}
+	return false
+}
+
+// JobList is the GET /v1/jobs body.
+type JobList struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// SubmitSweepRequest is the POST /v1/sweeps body: the cross-product of
+// config and workload dimensions, optionally times a seed dimension.
+type SubmitSweepRequest struct {
+	Name      string          `json:"name,omitempty"`
+	Configs   []SweepConfig   `json:"configs"`
+	Workloads []SweepWorkload `json:"workloads"`
+	Seeds     []int64         `json:"seeds,omitempty"`
+	MaxInsts  int64           `json:"max_insts,omitempty"`
+	Warmup    int64           `json:"warmup_insts,omitempty"`
+	Parallel  int             `json:"parallel,omitempty"`
+	Fidelity  string          `json:"fidelity,omitempty"`
+}
+
+// SweepConfig is one config-dimension entry.
+type SweepConfig struct {
+	Name     string          `json:"name,omitempty"`
+	Preset   string          `json:"preset,omitempty"`
+	Config   json.RawMessage `json:"config,omitempty"`
+	Fidelity string          `json:"fidelity,omitempty"`
+}
+
+// SweepWorkload is one workload-dimension entry.
+type SweepWorkload struct {
+	Name       string   `json:"name,omitempty"`
+	Benchmarks []string `json:"benchmarks"`
+}
+
+// Sweep is the sweep view returned by the /v1/sweeps endpoints.
+type Sweep struct {
+	ID    string `json:"id"`
+	Name  string `json:"name"`
+	State string `json:"state"`
+	// Class is always "batch": sweep points run at the lowest scheduler
+	// priority.
+	Class string `json:"class"`
+	// Tenant is the owning principal's keyfile name; absent in
+	// open-access mode.
+	Tenant      string         `json:"tenant,omitempty"`
+	Fingerprint string         `json:"fingerprint"`
+	Progress    sweep.Progress `json:"progress"`
+	Points      int            `json:"points"`
+	Error       string         `json:"error,omitempty"`
+	WallMS      float64        `json:"wall_ms,omitempty"`
+}
+
+// Terminal reports whether the sweep reached a final state.
+func (s *Sweep) Terminal() bool {
+	switch s.State {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+// VersionInfo is the GET /v1/version body.
+type VersionInfo struct {
+	Version       string  `json:"version"`
+	Revision      string  `json:"revision,omitempty"`
+	GoVersion     string  `json:"go_version"`
+	StartTime     string  `json:"start_time"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Lease is one batch of sweep grid points assigned to one worker: the
+// coordinator→worker wire format of POST /v1/cluster/execute. Sweep and
+// Fingerprint identify the sweep spec (naming the worker's local journal
+// and guarding it against cross-sweep mixing); Points carry everything
+// needed to run each shard without the spec.
+type Lease struct {
+	ID          string `json:"id"`
+	Sweep       string `json:"sweep"`
+	Fingerprint string `json:"fingerprint"`
+	// Tenant is the owning principal of the sweep the lease belongs to;
+	// empty in open-access clusters. Workers use it to attribute lease
+	// execution (telemetry, batch-class slot accounting) to the tenant.
+	Tenant string           `json:"tenant,omitempty"`
+	Points []sweep.PointDef `json:"points"`
+}
+
+// JoinRequest registers a worker with the coordinator
+// (POST /v1/cluster/join). URL is the worker's advertised base URL, where
+// the coordinator dispatches leases.
+type JoinRequest struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// JoinResponse tells the joining worker the coordinator's expectations.
+type JoinResponse struct {
+	// HeartbeatMS is the interval the worker must beat at; missing a few
+	// marks it dead and re-queues its leases.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// LeaseTTLMS is the no-progress deadline applied to its leases
+	// (informational).
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+// HeartbeatRequest is the worker liveness beacon
+// (POST /v1/cluster/heartbeat). A coordinator that does not recognize ID
+// answers 404 and the worker re-joins — the recovery path after a
+// coordinator restart.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// WorkerInfo is one worker's row in the coordinator's membership view
+// (GET /v1/cluster and the dashboard panel).
+type WorkerInfo struct {
+	ID            string    `json:"id"`
+	URL           string    `json:"url"`
+	Joined        time.Time `json:"joined"`
+	LastHeartbeat time.Time `json:"last_heartbeat"`
+	// Live reports whether the worker is currently eligible for leases:
+	// heartbeating within the timeout and with no dispatch failure newer
+	// than its last heartbeat.
+	Live bool `json:"live"`
+	// ActiveLeases counts leases currently dispatched to the worker;
+	// PendingPoints the points in them not yet committed; PointsDone the
+	// worker's lifetime committed points.
+	ActiveLeases  int   `json:"active_leases"`
+	PendingPoints int   `json:"pending_points"`
+	PointsDone    int64 `json:"points_done"`
+}
+
+// Counters is the coordinator's failure-visibility surface, exported as
+// cluster_* metrics. LeasesExpired counts every lease that ended without
+// delivering all its points — deadline expiry, worker death and
+// connection loss alike — because each of those is the same event from
+// the sweep's perspective: a broken lease whose remainder re-queued.
+type Counters struct {
+	WorkersJoined    int64 `json:"workers_joined"`
+	WorkersLost      int64 `json:"workers_lost"`
+	LeasesGranted    int64 `json:"leases_granted"`
+	LeasesExpired    int64 `json:"leases_expired"`
+	PointsRequeued   int64 `json:"points_requeued"`
+	PointsDuplicate  int64 `json:"points_duplicate"`
+	LeasesSpeculated int64 `json:"leases_speculated"`
+}
